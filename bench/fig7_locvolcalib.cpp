@@ -1,0 +1,95 @@
+// Figure 7: LocVolCalib speedup over moderate flattening on both devices,
+// for the small/medium/large datasets, with the hand-written FinPar-Out and
+// FinPar-All OpenCL implementations as additional bars (paper Sec. 5.2).
+#include "bench/harness.h"
+#include "src/benchsuite/reference.h"
+
+namespace incflat {
+namespace {
+
+using bench::Checks;
+using bench::prepare;
+
+int run() {
+  const std::vector<DeviceProfile> devices{device_k40(), device_vega64()};
+  bench::TunedBench t = prepare(get_benchmark("LocVolCalib"), devices);
+
+  Checks checks;
+  for (const auto& dev : devices) {
+    std::cout << "\n=== Figure 7: LocVolCalib speedup vs moderate "
+                 "flattening, device "
+              << dev.name << " ===\n";
+    Table tab({"dataset", "MF(us)", "IF", "AIF", "FinPar-Out", "FinPar-All"});
+    std::map<std::string, std::map<std::string, double>> sp;
+    for (const auto& d : t.bench.datasets) {
+      const double mf =
+          estimate_run(dev, t.moderate.program, d.sizes, {}).time_us;
+      const double un =
+          estimate_run(dev, t.incremental.program, d.sizes, {}).time_us;
+      const double aif = estimate_run(dev, t.incremental.program, d.sizes,
+                                      t.tuned.at(dev.name))
+                             .time_us;
+      const double fo = reference_finpar_out(dev, d.sizes);
+      const double fa = reference_finpar_all(dev, d.sizes);
+      sp[d.name] = {{"mf", mf}, {"if", un}, {"aif", aif},
+                    {"fout", fo}, {"fall", fa}};
+      tab.row({d.name, fmt_double(mf, 1), bench::ratio(mf, un),
+               bench::ratio(mf, aif), bench::ratio(mf, fo),
+               bench::ratio(mf, fa)});
+    }
+    tab.print(std::cout);
+
+    for (const auto& d : t.bench.datasets) {
+      checks.expect(sp[d.name]["aif"] <= 1.02 * sp[d.name]["mf"],
+                    dev.name + "/" + d.name +
+                        ": AIF outperforms (or matches) MF");
+    }
+    if (dev.name == "vega64") {
+      // "on Vega 64, AIF is slightly slower than FinPar-All in all cases,
+      // due to suboptimal memory reuse"
+      for (const auto& d : t.bench.datasets) {
+        checks.expect(sp[d.name]["fall"] <= sp[d.name]["aif"] * 1.05,
+                      "vega64/" + d.name + ": FinPar-All at least "
+                      "matches AIF");
+      }
+    } else {
+      // "on K40 ... is outperformed by FinPar-Out on the large dataset"
+      checks.expect(sp["large"]["fout"] < sp["large"]["aif"],
+                    "k40/large: FinPar-Out beats AIF (work-efficient "
+                    "sequential tridag)");
+    }
+  }
+
+  // Paper: AIF uses version 2 on Vega (intra-group), version 1 for the
+  // large dataset on K40 (outer parallelism, sequential tridag).
+  {
+    const DeviceProfile k40 = device_k40();
+    RunEstimate big = estimate_run(device_k40(), t.incremental.program,
+                                   t.bench.datasets[2].sizes,
+                                   t.tuned.at("k40"));
+    bool intra = false;
+    for (const auto& k : big.kernels) {
+      intra |= k.what.find("intra") != std::string::npos;
+    }
+    checks.expect(!intra,
+                  "k40/large: tuned program selects the sequential-tridag "
+                  "version (no intra-group kernels)");
+    RunEstimate v = estimate_run(device_vega64(), t.incremental.program,
+                                 t.bench.datasets[0].sizes,
+                                 t.tuned.at("vega64"));
+    bool intra_v = false;
+    for (const auto& k : v.kernels) {
+      intra_v |= k.what.find("intra") != std::string::npos;
+    }
+    checks.expect(intra_v,
+                  "vega64/small: tuned program selects the intra-group "
+                  "(local-memory scans) version");
+    (void)k40;
+  }
+  return checks.print(std::cout);
+}
+
+}  // namespace
+}  // namespace incflat
+
+int main() { return incflat::run(); }

@@ -1,0 +1,107 @@
+// Figure 8: bulk validation — speedup of incremental flattening (untuned
+// and autotuned) and of the hand-written reference implementations over
+// moderate flattening, for the eight benchmarks of Table 1 on both device
+// profiles.
+#include <fstream>
+
+#include "bench/harness.h"
+#include "src/support/json.h"
+
+namespace incflat {
+namespace {
+
+using bench::Checks;
+using bench::prepare;
+
+int run() {
+  const std::vector<DeviceProfile> devices{device_k40(), device_vega64()};
+  Checks checks;
+  Json results = Json::array();  // artifact-style raw measurement dump
+
+  for (const auto& dev : devices) {
+    std::cout << "\n=== Figure 8: speedup vs moderate flattening, device "
+              << dev.name << " ===\n";
+    Table tab({"benchmark", "dataset", "MF(us)", "IF", "AIF", "reference"});
+    for (const auto& base : bulk_benchmarks()) {
+      bench::TunedBench t = prepare(base, {dev});
+      for (const auto& d : t.bench.datasets) {
+        const double mf =
+            estimate_run(dev, t.moderate.program, d.sizes, {}).time_us;
+        const double un =
+            estimate_run(dev, t.incremental.program, d.sizes, {}).time_us;
+        const double aif = estimate_run(dev, t.incremental.program, d.sizes,
+                                        t.tuned.at(dev.name))
+                               .time_us;
+        const double ref =
+            t.bench.reference ? t.bench.reference(dev, d.sizes) : -1;
+        tab.row({t.bench.name, d.name, fmt_double(mf, 1),
+                 bench::ratio(mf, un), bench::ratio(mf, aif),
+                 ref > 0 ? bench::ratio(mf, ref) : "-"});
+        results.push(Json::object()
+                         .set("device", dev.name)
+                         .set("benchmark", t.bench.name)
+                         .set("dataset", d.name)
+                         .set("moderate_us", mf)
+                         .set("incremental_us", un)
+                         .set("autotuned_us", aif)
+                         .set("reference_us", ref));
+
+        checks.expect(aif <= 1.05 * mf,
+                      dev.name + "/" + t.bench.name + "/" + d.name +
+                          ": AIF never loses to MF");
+        checks.expect(aif <= 1.05 * un,
+                      dev.name + "/" + t.bench.name + "/" + d.name +
+                          ": tuning never loses to the untuned default");
+      }
+    }
+    tab.print(std::cout);
+  }
+
+  // Raw measurements in the artifact's "simple JSON format".
+  if (std::ofstream jf("fig8_results.json"); jf) {
+    jf << results.str() << "\n";
+    std::cout << "\nraw results written to fig8_results.json\n";
+  }
+
+  // Named claims from Sec. 5.3, checked on the K40 profile.
+  {
+    const DeviceProfile dev = device_k40();
+    auto time_of = [&](const char* name, int ds, bool tuned_aif) {
+      bench::TunedBench t = prepare(get_benchmark(name), {dev});
+      const auto& d = t.bench.datasets[static_cast<size_t>(ds)];
+      if (tuned_aif) {
+        return estimate_run(dev, t.incremental.program, d.sizes,
+                            t.tuned.at(dev.name))
+            .time_us;
+      }
+      return estimate_run(dev, t.moderate.program, d.sizes, {}).time_us;
+    };
+    auto ref_of = [&](const char* name, int ds) {
+      Benchmark b = get_benchmark(name);
+      return b.reference(dev, b.datasets[static_cast<size_t>(ds)].sizes);
+    };
+    checks.expect(ref_of("OptionPricing", 1) > time_of("OptionPricing", 1,
+                                                       false),
+                  "OptionPricing/D2: outer-parallel reference slows down "
+                  "(needs inner layers)");
+    checks.expect(ref_of("Backprop", 1) > time_of("Backprop", 1, true),
+                  "Backprop/D2: Rodinia loses (reduce on the CPU)");
+    checks.expect(ref_of("NN", 0) > time_of("NN", 0, true),
+                  "NN/D1: Rodinia loses (reduce on the CPU)");
+    checks.expect(ref_of("Pathfinder", 0) > time_of("Pathfinder", 0, true),
+                  "Pathfinder/D1: pyramidal tiling does not pay off");
+    checks.expect(ref_of("NW", 0) < time_of("NW", 0, true),
+                  "NW/D1: Rodinia wins ~2x (in-place diagonal updates "
+                  "not expressible)");
+    checks.expect(time_of("LavaMD", 1, true) <
+                      0.5 * time_of("LavaMD", 1, false),
+                  "LavaMD/D2: AIF wins by parallelising the inner redomap "
+                  "at workgroup level");
+  }
+  return checks.print(std::cout);
+}
+
+}  // namespace
+}  // namespace incflat
+
+int main() { return incflat::run(); }

@@ -1,0 +1,90 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary compiles benchmarks under moderate / incremental flattening,
+// autotunes the incremental version on the *training* datasets (Sec. 5.1:
+// tuning datasets differ from evaluation datasets), evaluates on the paper's
+// datasets for both device profiles, and prints the figure's rows plus a
+// qualitative-shape check summary (who wins, roughly by how much, where the
+// crossovers fall — the reproduction contract from DESIGN.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/autotune/autotune.h"
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/flatten/flatten.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+
+namespace incflat::bench {
+
+/// A compiled benchmark with tuned thresholds per device.
+struct TunedBench {
+  Benchmark bench;
+  FlattenResult moderate;
+  FlattenResult incremental;
+  FlattenResult full;
+  std::map<std::string, ThresholdEnv> tuned;  // device name -> thresholds
+  std::map<std::string, TuningReport> reports;
+};
+
+/// Compile + autotune a benchmark for the given devices.  `exhaustive`
+/// uses the branch-complete oracle search (fast here because runs are
+/// simulated); otherwise the stochastic OpenTuner-style search is used.
+inline TunedBench prepare(const Benchmark& b,
+                          const std::vector<DeviceProfile>& devices,
+                          bool exhaustive = true) {
+  TunedBench t;
+  t.bench = b;
+  FlattenOptions mf_opts;
+  mf_opts.fuse = b.fuse_moderate;
+  t.moderate = flatten(b.program, FlattenMode::Moderate, mf_opts);
+  t.incremental = flatten(b.program, FlattenMode::Incremental);
+  t.full = flatten(b.program, FlattenMode::Full);
+  std::vector<TuningDataset> train;
+  for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
+  for (const auto& dev : devices) {
+    TuningReport rep =
+        exhaustive
+            ? exhaustive_tune(dev, t.incremental.program,
+                              t.incremental.thresholds, train)
+            : autotune(dev, t.incremental.program, t.incremental.thresholds,
+                       train);
+    t.tuned[dev.name] = rep.best;
+    t.reports[dev.name] = rep;
+  }
+  return t;
+}
+
+/// Simple check collector printed at the end of each binary.
+class Checks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    results_.emplace_back(ok, what);
+    if (!ok) ++failures_;
+  }
+
+  int print(std::ostream& os) const {
+    os << "\nQualitative shape checks (paper claim -> measured):\n";
+    for (const auto& [ok, what] : results_) {
+      os << "  [" << (ok ? "PASS" : "FAIL") << "] " << what << "\n";
+    }
+    os << (failures_ == 0 ? "All" : "Some") << " shape checks "
+       << (failures_ == 0 ? "passed" : "FAILED") << " (" << failures_ << "/"
+       << results_.size() << " failures)\n";
+    return failures_;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+  int failures_ = 0;
+};
+
+inline std::string ratio(double num, double den) {
+  return fmt_double(num / den, 2) + "x";
+}
+
+}  // namespace incflat::bench

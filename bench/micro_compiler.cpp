@@ -1,0 +1,102 @@
+// google-benchmark micro-benchmarks of the compiler pipeline itself:
+// type checking, fusion, normalisation, the three flattening modes, the
+// cost model, and the autotuner, on the largest real program in the suite
+// (LocVolCalib) and on matmul.
+#include <benchmark/benchmark.h>
+
+#include "src/autotune/autotune.h"
+#include "src/benchsuite/benchmark.h"
+#include "src/flatten/flatten.h"
+#include "src/flatten/fusion.h"
+#include "src/flatten/normalize.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+namespace {
+
+const Benchmark& lvc() {
+  static const Benchmark b = get_benchmark("LocVolCalib");
+  return b;
+}
+
+const Benchmark& mm() {
+  static const Benchmark b = get_benchmark("matmul");
+  return b;
+}
+
+void BM_Typecheck(benchmark::State& state) {
+  Program p = lvc().program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(typecheck_program(p));
+  }
+}
+BENCHMARK(BM_Typecheck);
+
+void BM_Normalize(benchmark::State& state) {
+  Program p = lvc().program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normalize_program(p));
+  }
+}
+BENCHMARK(BM_Normalize);
+
+void BM_Fusion(benchmark::State& state) {
+  Program p = lvc().program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse_program(p));
+  }
+}
+BENCHMARK(BM_Fusion);
+
+void BM_FlattenModerate(benchmark::State& state) {
+  Program p = lvc().program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flatten(p, FlattenMode::Moderate));
+  }
+}
+BENCHMARK(BM_FlattenModerate);
+
+void BM_FlattenIncremental(benchmark::State& state) {
+  Program p = lvc().program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flatten(p, FlattenMode::Incremental));
+  }
+}
+BENCHMARK(BM_FlattenIncremental);
+
+void BM_FlattenIncrementalMatmul(benchmark::State& state) {
+  Program p = mm().program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flatten(p, FlattenMode::Incremental));
+  }
+}
+BENCHMARK(BM_FlattenIncrementalMatmul);
+
+void BM_CostModel(benchmark::State& state) {
+  FlattenResult inc = flatten(lvc().program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = lvc().datasets[0].sizes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_run(dev, inc.program, sizes, {}));
+  }
+}
+BENCHMARK(BM_CostModel);
+
+void BM_AutotuneStochastic(benchmark::State& state) {
+  FlattenResult inc = flatten(lvc().program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  std::vector<TuningDataset> train;
+  for (const auto& d : lvc().tuning) train.push_back({d.name, d.sizes, 1.0});
+  TunerOptions opts;
+  opts.max_trials = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        autotune(dev, inc.program, inc.thresholds, train, opts));
+  }
+}
+BENCHMARK(BM_AutotuneStochastic);
+
+}  // namespace
+}  // namespace incflat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1: the D1/D2 datasets used in Figure 8, plus the (disjoint)
+// datasets used for training the autotuner (Sec. 5.1).
+#include "bench/harness.h"
+
+namespace incflat {
+namespace {
+
+int run() {
+  std::cout << "=== Table 1: datasets used in Figure 8 ===\n";
+  Table tab({"Benchmark", "D1", "D2"});
+  for (const auto& b : bulk_benchmarks()) {
+    tab.row({b.name, b.datasets.at(0).summary, b.datasets.at(1).summary});
+  }
+  tab.print(std::cout);
+
+  std::cout << "\n=== Size environments (simulation inputs) ===\n";
+  Table sizes({"Benchmark", "dataset", "sizes"});
+  for (const auto& b : bulk_benchmarks()) {
+    for (const auto& d : b.datasets) {
+      sizes.row({b.name, d.name,
+                 join_map(d.sizes, " ", [](const auto& kv) {
+                   return kv.first + "=" + std::to_string(kv.second);
+                 })});
+    }
+    for (const auto& d : b.tuning) {
+      sizes.row({b.name, d.name + " (train)",
+                 join_map(d.sizes, " ", [](const auto& kv) {
+                   return kv.first + "=" + std::to_string(kv.second);
+                 })});
+    }
+  }
+  sizes.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace incflat
+
+int main() { return incflat::run(); }

@@ -1,0 +1,191 @@
+#include "src/autotune/autotune.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/error.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+
+namespace {
+
+/// Dedup key: the concatenated path signatures of all datasets.  Two
+/// assignments with equal keys drive every dataset through the same code
+/// versions, hence cost the same (paper Sec. 4.2).
+std::string signature_key(const ThresholdRegistry& reg,
+                          const std::vector<TuningDataset>& datasets,
+                          const std::map<std::string, int64_t>& assignment,
+                          int64_t default_value, int64_t max_group) {
+  std::string key;
+  for (const auto& d : datasets) {
+    for (bool b :
+         reg.path_signature(d.sizes, assignment, default_value, max_group)) {
+      key += b ? '1' : '0';
+    }
+    key += '|';
+  }
+  return key;
+}
+
+ThresholdEnv to_env(const std::map<std::string, int64_t>& assignment,
+                    int64_t default_value) {
+  ThresholdEnv env;
+  env.values = assignment;
+  env.default_threshold = default_value;
+  return env;
+}
+
+struct Memoizer {
+  const DeviceProfile& dev;
+  const Program& p;
+  const ThresholdRegistry& reg;
+  const std::vector<TuningDataset>& datasets;
+  int64_t default_value;
+  std::map<std::string, double> cache;
+  int evaluations = 0;
+  int dedup_hits = 0;
+
+  double cost(const std::map<std::string, int64_t>& assignment) {
+    const std::string key = signature_key(reg, datasets, assignment,
+                                          default_value, dev.max_group_size);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      ++dedup_hits;
+      return it->second;
+    }
+    ++evaluations;
+    const double c =
+        tuning_cost(dev, p, datasets, to_env(assignment, default_value));
+    cache.emplace(key, c);
+    return c;
+  }
+};
+
+}  // namespace
+
+double tuning_cost(const DeviceProfile& dev, const Program& p,
+                   const std::vector<TuningDataset>& datasets,
+                   const ThresholdEnv& thresholds) {
+  double total = 0;
+  for (const auto& d : datasets) {
+    total += d.weight * estimate_run(dev, p, d.sizes, thresholds).time_us;
+  }
+  return total;
+}
+
+TuningReport autotune(const DeviceProfile& dev, const Program& p,
+                      const ThresholdRegistry& reg,
+                      const std::vector<TuningDataset>& datasets,
+                      const TunerOptions& opts) {
+  TuningReport rep;
+  Memoizer memo{dev, p, reg, datasets, opts.default_threshold, {}, 0, 0};
+
+  // LogIntegerParameter view: the search works on exponents, so halving and
+  // doubling a threshold are steps of equal magnitude.
+  std::vector<std::string> names;
+  for (const auto& ti : reg.all()) names.push_back(ti.name);
+
+  std::map<std::string, int64_t> incumbent;  // empty = all defaults
+  double best = memo.cost(incumbent);
+  rep.default_cost_us = best;
+  rep.trials = 1;
+
+  if (!names.empty()) {
+    Rng rng(opts.seed);
+    auto random_assignment = [&] {
+      std::map<std::string, int64_t> a;
+      for (const auto& n : names) {
+        a[n] = int64_t{1} << rng.uniform_int(opts.log2_min, opts.log2_max);
+      }
+      return a;
+    };
+    auto mutate = [&](std::map<std::string, int64_t> a) {
+      const int n_mut =
+          static_cast<int>(rng.uniform_int(1, std::max<size_t>(names.size() / 2, 1)));
+      for (int k = 0; k < n_mut; ++k) {
+        const auto& n = names[static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int64_t>(names.size()) - 1))];
+        int64_t cur = a.count(n) ? a[n] : opts.default_threshold;
+        int exp = 0;
+        while ((int64_t{1} << exp) < cur && exp < 62) ++exp;
+        exp += static_cast<int>(rng.uniform_int(-4, 4));
+        exp = std::clamp(exp, opts.log2_min, opts.log2_max);
+        a[n] = int64_t{1} << exp;
+      }
+      return a;
+    };
+
+    for (int t = 1; t < opts.max_trials; ++t) {
+      // Ensemble: half random exploration, half hill climbing on the
+      // incumbent (OpenTuner's technique mixture, simplified).
+      std::map<std::string, int64_t> cand =
+          rng.flip(0.5) ? random_assignment() : mutate(incumbent);
+      ++rep.trials;
+      const double c = memo.cost(cand);
+      if (c < best) {
+        best = c;
+        incumbent = std::move(cand);
+      }
+    }
+  }
+
+  rep.best = to_env(incumbent, opts.default_threshold);
+  rep.best_cost_us = best;
+  rep.evaluations = memo.evaluations;
+  rep.dedup_hits = memo.dedup_hits;
+  return rep;
+}
+
+TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
+                             const ThresholdRegistry& reg,
+                             const std::vector<TuningDataset>& datasets,
+                             int64_t default_threshold) {
+  TuningReport rep;
+  Memoizer memo{dev, p, reg, datasets, default_threshold, {}, 0, 0};
+  rep.default_cost_us = memo.cost({});
+
+  // Candidate values per threshold: "always on", "always off", and every
+  // boundary that separates the training datasets.
+  std::vector<std::string> names;
+  std::vector<std::vector<int64_t>> cands;
+  for (const auto& ti : reg.all()) {
+    std::set<int64_t> c{int64_t{1}, int64_t{1} << 62};
+    for (const auto& d : datasets) {
+      c.insert(ti.par.eval(d.sizes));
+    }
+    names.push_back(ti.name);
+    cands.emplace_back(c.begin(), c.end());
+  }
+
+  std::map<std::string, int64_t> current, best_assign;
+  double best = memo.cost({});
+  std::function<void(size_t)> go = [&](size_t i) {
+    if (i == names.size()) {
+      ++rep.trials;
+      const double c = memo.cost(current);
+      if (c < best) {
+        best = c;
+        best_assign = current;
+      }
+      return;
+    }
+    for (int64_t v : cands[i]) {
+      current[names[i]] = v;
+      go(i + 1);
+    }
+    current.erase(names[i]);
+  };
+  go(0);
+
+  rep.best = to_env(best_assign, default_threshold);
+  rep.best_cost_us = best;
+  rep.evaluations = memo.evaluations;
+  rep.dedup_hits = memo.dedup_hits;
+  return rep;
+}
+
+}  // namespace incflat

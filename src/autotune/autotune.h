@@ -1,0 +1,70 @@
+// Autotuner for threshold parameters (paper Sec. 4.2).
+//
+// The paper tunes with OpenTuner, defining one log-scaled integer parameter
+// (LogIntegerParameter) per threshold and a cost function summing runtimes
+// over user-provided training datasets.  This module reimplements that
+// design: an ensemble stochastic search (random sampling + log-scale hill
+// climbing from the incumbent) over power-of-two threshold values, with the
+// paper's branching-tree deduplication — assignments that select the same
+// code version on every training dataset share one (simulated) measurement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/flatten/thresholds.h"
+#include "src/gpusim/cost.h"
+#include "src/gpusim/device.h"
+#include "src/interp/interp.h"
+
+namespace incflat {
+
+/// One training dataset: a size environment and a weight in the cost
+/// function (the paper uses the unweighted sum; weights allow the "user
+/// indicates which workloads matter" extension discussed in Sec. 4.2).
+struct TuningDataset {
+  std::string name;
+  SizeEnv sizes;
+  double weight = 1.0;
+};
+
+struct TunerOptions {
+  int max_trials = 400;        // parameter assignments attempted
+  uint64_t seed = 0xf00dcafe;  // deterministic search
+  int log2_min = 0;            // thresholds range over [2^min, 2^max]
+  int log2_max = 31;
+  int64_t default_threshold = int64_t{1} << 15;  // paper default
+};
+
+struct TuningReport {
+  ThresholdEnv best;          // tuned assignment (and default for the rest)
+  double best_cost_us = 0;    // sum of weighted runtimes under `best`
+  double default_cost_us = 0; // cost of the untuned (2^15) assignment
+  int trials = 0;             // assignments attempted
+  int evaluations = 0;        // cost-model evaluations actually performed
+  int dedup_hits = 0;         // assignments resolved from the branching tree
+};
+
+/// Tune `p`'s thresholds for `dev` over the training datasets.
+TuningReport autotune(const DeviceProfile& dev, const Program& p,
+                      const ThresholdRegistry& reg,
+                      const std::vector<TuningDataset>& datasets,
+                      const TunerOptions& opts = {});
+
+/// Exhaustive search over the *distinct dynamic behaviours*: each threshold
+/// takes values from {1, 2^62} ∪ {per-dataset Par values}, so every
+/// reachable combination of code-version selections is visited.  Used as
+/// the oracle in tests and the "AIF with unlimited tuning budget" bound.
+TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
+                             const ThresholdRegistry& reg,
+                             const std::vector<TuningDataset>& datasets,
+                             int64_t default_threshold = int64_t{1} << 15);
+
+/// The tuner's cost function: weighted sum over datasets of simulated
+/// runtime under the given assignment.
+double tuning_cost(const DeviceProfile& dev, const Program& p,
+                   const std::vector<TuningDataset>& datasets,
+                   const ThresholdEnv& thresholds);
+
+}  // namespace incflat

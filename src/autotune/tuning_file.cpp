@@ -1,0 +1,67 @@
+#include "src/autotune/tuning_file.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/support/error.h"
+
+namespace incflat {
+
+std::string tuning_to_string(const ThresholdEnv& env) {
+  std::ostringstream os;
+  os << "# incremental-flattening threshold assignment\n";
+  os << "default=" << env.default_threshold << "\n";
+  for (const auto& [name, value] : env.values) {
+    os << name << "=" << value << "\n";
+  }
+  return os.str();
+}
+
+ThresholdEnv tuning_from_string(const std::string& text) {
+  ThresholdEnv env;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // strip comments and whitespace-only lines
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw EvalError("tuning file: missing '=' on line " +
+                      std::to_string(lineno));
+    }
+    const std::string name = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      const int64_t v = std::stoll(value);
+      if (name == "default") {
+        env.default_threshold = v;
+      } else {
+        env.values[name] = v;
+      }
+    } catch (const std::exception&) {
+      throw EvalError("tuning file: bad value on line " +
+                      std::to_string(lineno) + ": '" + value + "'");
+    }
+  }
+  return env;
+}
+
+void save_tuning(const std::string& path, const ThresholdEnv& env) {
+  std::ofstream f(path);
+  if (!f) throw EvalError("cannot write tuning file: " + path);
+  f << tuning_to_string(env);
+}
+
+ThresholdEnv load_tuning(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw EvalError("cannot read tuning file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return tuning_from_string(buf.str());
+}
+
+}  // namespace incflat

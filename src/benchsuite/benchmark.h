@@ -1,0 +1,89 @@
+// The paper's benchmark suite as source-IR programs.
+//
+// Sec. 5 evaluates: matrix multiplication (Fig. 2), LocVolCalib from FinPar
+// (Fig. 6/7), two LexiFi financial kernels (Heston, OptionPricing) and six
+// Rodinia benchmarks (Backprop, LavaMD, NW, NN, SRAD, Pathfinder) — Fig. 8,
+// with the D1/D2 datasets of Table 1.  Each benchmark here carries:
+//   * the source program, with the nesting structure the paper describes,
+//   * the Table 1 evaluation datasets plus separate tuning datasets
+//     ("the datasets used for tuning are different than the ones used for
+//     testing", Sec. 5.1),
+//   * an input generator (deterministic) and, where practical, a golden
+//     plain-C++ implementation used to validate the IR encoding,
+//   * the applicable reference-implementation cost model (reference.h).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/device.h"
+#include "src/interp/value.h"
+#include "src/ir/expr.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+
+struct BenchDataset {
+  std::string name;     // "D1" / "D2" / "small" / ...
+  SizeEnv sizes;
+  std::string summary;  // the Table 1 description
+};
+
+struct Benchmark {
+  std::string name;
+  Program program;  // type-annotated source program
+
+  std::vector<BenchDataset> datasets;  // evaluation datasets (Table 1)
+  std::vector<BenchDataset> tuning;    // training datasets (disjoint)
+
+  /// Scaled-down size environment usable by the reference interpreter in
+  /// correctness tests (the evaluation sizes are simulation-only).
+  SizeEnv test_sizes;
+
+  /// Deterministic input generation for a given size environment.
+  std::function<std::vector<Value>(Rng&, const SizeEnv&)> gen_inputs;
+
+  /// Optional independent plain-C++ implementation of the same math,
+  /// used to validate the IR encoding on test_sizes.
+  std::function<Values(const SizeEnv&, const std::vector<Value>&)> golden;
+
+  /// Optional hand-written reference implementation (FinPar / Rodinia /
+  /// cuBLAS) cost model; returns simulated microseconds.
+  std::function<double(const DeviceProfile&, const SizeEnv&)> reference;
+  std::string reference_name;
+
+  /// Whether fusion is applied before *moderate* flattening.  The paper
+  /// explicitly prevents the map-reduce fusion for MF on Backprop
+  /// ("which otherwise would have resulted in poor performance", Sec. 5.3).
+  bool fuse_moderate = true;
+};
+
+/// All Fig. 8 bulk-validation benchmarks (Heston, OptionPricing, Backprop,
+/// LavaMD, NW, NN, SRAD, Pathfinder), in the paper's order.
+const std::vector<Benchmark>& bulk_benchmarks();
+
+/// Individual benchmark constructors (also used by Figs. 2 and 7).
+Benchmark bench_matmul();
+Benchmark bench_locvolcalib();
+Benchmark bench_heston();
+Benchmark bench_optionpricing();
+Benchmark bench_backprop();
+Benchmark bench_lavamd();
+Benchmark bench_nw();
+Benchmark bench_nn();
+Benchmark bench_srad();
+Benchmark bench_pathfinder();
+
+/// Lookup by name; throws on unknown.
+Benchmark get_benchmark(const std::string& name);
+
+/// Names of all benchmarks (matmul + LocVolCalib + the bulk eight).
+std::vector<std::string> all_benchmark_names();
+
+/// Shared helper: random F32 array of the given shape.
+Value random_f32(Rng& rng, std::vector<int64_t> shape, double lo = 0.0,
+                 double hi = 1.0);
+
+}  // namespace incflat

@@ -1,0 +1,143 @@
+// LocVolCalib from the FinPar suite (paper Sec. 5.2, Fig. 6/7): an outer
+// map of degree numS over a sequential loop of numT iterations whose body
+// maps `tridag` (a composition of three scans) over xss [numX][numY] and
+// yss [numY][numX].
+//
+// The exact tridag recurrences are proprietary-benchmark detail; what the
+// experiment depends on is the *parallel structure* — three chained scans
+// per row inside two maps inside a loop inside a map — which is reproduced
+// faithfully (Fig. 6a/6b).  Incremental flattening then produces exactly
+// the paper's three code versions (Fig. 6c): (1) outer numS*numX
+// parallelism with sequential tridag, (2) the same plus the scans at
+// workgroup level in scratchpad, (3) fully flattened segmented scans.
+#include <cmath>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/benchsuite/reference.h"
+#include "src/ir/builder.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+
+namespace {
+
+using namespace ib;
+
+constexpr double kMaxNeutral = -1e30;
+
+// tridag xs = let bs = scan (+) 0 xs
+//             let cs = scan (max) -inf bs
+//             in  scan (+) 0 cs                  (Fig. 6b's ⊕ / ⊗ / ⊙)
+ExprP tridag_body(const std::string& xs) {
+  return let1(
+      "bs_" + xs, scan(binlam("+", Scalar::F32), {cf32(0)}, {var(xs)}),
+      let1("cs_" + xs,
+           scan(binlam("max", Scalar::F32), {cf32(kMaxNeutral)},
+                {var("bs_" + xs)}),
+           scan(binlam("+", Scalar::F32), {cf32(0)}, {var("cs_" + xs)})));
+}
+
+Program locvolcalib_program() {
+  Program p;
+  p.name = "LocVolCalib";
+  p.inputs = {
+      {"xsss0", Type::array(Scalar::F32,
+                            {Dim::v("numS"), Dim::v("numX"), Dim::v("numY")})},
+      {"ysss0", Type::array(Scalar::F32,
+                            {Dim::v("numS"), Dim::v("numY"), Dim::v("numX")})},
+  };
+  p.extra_sizes = {"numT"};
+
+  Lambda tridag_x = lam({ib::p("txs", Type())}, tridag_body("txs"));
+  Lambda tridag_y = lam({ib::p("tys", Type())}, tridag_body("tys"));
+
+  ExprP loop_body = letn(
+      {"xss2"}, map1(tridag_x, var("xss")),
+      letn({"yss2"}, map1(tridag_y, var("yss")),
+           tuple({var("xss2"), var("yss2")})));
+
+  Lambda outer = lam(
+      {ib::p("xss0", Type()), ib::p("yss0", Type())},
+      loop({"xss", "yss"}, {var("xss0"), var("yss0")}, "t", var("numT"),
+           loop_body));
+
+  p.body = map(outer, {var("xsss0"), var("ysss0")});
+  return typecheck_program(std::move(p));
+}
+
+SizeEnv lvc_sizes(int64_t s, int64_t t, int64_t x, int64_t y) {
+  return SizeEnv{{"numS", s}, {"numT", t}, {"numX", x}, {"numY", y}};
+}
+
+// Golden: the same three chained scans, straight C++.
+void tridag_rows(Value& m, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0;  // scan (+)
+    std::vector<double> bs(static_cast<size_t>(cols));
+    for (int64_t c = 0; c < cols; ++c) {
+      acc += m.fget(r * cols + c);
+      bs[static_cast<size_t>(c)] = acc;
+    }
+    double mx = kMaxNeutral;  // scan (max)
+    std::vector<double> cs(static_cast<size_t>(cols));
+    for (int64_t c = 0; c < cols; ++c) {
+      mx = std::max(mx, bs[static_cast<size_t>(c)]);
+      cs[static_cast<size_t>(c)] = mx;
+    }
+    acc = 0;  // scan (+)
+    for (int64_t c = 0; c < cols; ++c) {
+      acc += cs[static_cast<size_t>(c)];
+      m.fset(r * cols + c, acc);
+    }
+  }
+}
+
+Values locvolcalib_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t S = sz.at("numS"), T = sz.at("numT");
+  const int64_t X = sz.at("numX"), Y = sz.at("numY");
+  Value xsss = in[0], ysss = in[1];
+  for (int64_t s = 0; s < S; ++s) {
+    for (int64_t t = 0; t < T; ++t) {
+      Value xss = xsss.row(s), yss = ysss.row(s);
+      tridag_rows(xss, X, Y);
+      tridag_rows(yss, Y, X);
+      xsss.set_row(s, xss);
+      ysss.set_row(s, yss);
+    }
+  }
+  return {xsss, ysss};
+}
+
+}  // namespace
+
+Benchmark bench_locvolcalib() {
+  Benchmark b;
+  b.name = "LocVolCalib";
+  b.program = locvolcalib_program();
+  // The paper's three datasets (Sec. 5.2).
+  b.datasets = {
+      {"small", lvc_sizes(16, 256, 32, 256), "numS=16 numT=256 numX=32 numY=256"},
+      {"medium", lvc_sizes(128, 64, 256, 32), "numS=128 numT=64 numX=256 numY=32"},
+      {"large", lvc_sizes(256, 64, 256, 256), "numS=256 numT=64 numX=256 numY=256"},
+  };
+  // Training datasets differ from the evaluation ones (Sec. 5.1).
+  b.tuning = {
+      {"t-small", lvc_sizes(8, 64, 32, 128), ""},
+      {"t-medium", lvc_sizes(64, 32, 128, 32), ""},
+      {"t-large", lvc_sizes(192, 32, 192, 192), ""},
+  };
+  b.test_sizes = lvc_sizes(2, 3, 4, 5);
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{
+        random_f32(rng, {sz.at("numS"), sz.at("numX"), sz.at("numY")}, -0.5,
+                   0.5),
+        random_f32(rng, {sz.at("numS"), sz.at("numY"), sz.at("numX")}, -0.5,
+                   0.5)};
+  };
+  b.golden = locvolcalib_golden;
+  b.reference = reference_finpar_out;  // FinPar-Out; Fig. 7 also uses -All
+  b.reference_name = "FinPar";
+  return b;
+}
+
+}  // namespace incflat

@@ -1,0 +1,85 @@
+// Matrix multiplication (paper Sec. 2.2 / Fig. 2):
+//   map (\xs -> map (\ys -> redomap (+) (*) 0 xs ys) (transpose yss)) xss
+// The Fig. 2 sweep multiplies 2^n x 2^m by 2^m x 2^n with constant total
+// work 2^k; the bench binary drives the sweep, this file provides the
+// program, representative datasets, the golden implementation, and wiring
+// to the cuBLAS/Parboil reference model.
+#include "src/benchsuite/benchmark.h"
+#include "src/benchsuite/reference.h"
+#include "src/ir/builder.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+
+namespace {
+
+using namespace ib;
+
+Program matmul_program() {
+  Program p;
+  p.name = "matmul";
+  p.inputs = {
+      {"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})},
+      {"yss", Type::array(Scalar::F32, {Dim::v("m"), Dim::v("k")})},
+  };
+  Lambda dot = lam({ib::p("x", Type::scalar(Scalar::F32)),
+                    ib::p("y", Type::scalar(Scalar::F32))},
+                   mul(var("x"), var("y")));
+  Lambda inner = lam({ib::p("ys", Type())},
+                     redomap(binlam("+", Scalar::F32), dot, {cf32(0)},
+                             {var("xs"), var("ys")}));
+  Lambda outer = lam({ib::p("xs", Type())}, map1(inner, transpose(var("yss"))));
+  p.body = map1(outer, var("xss"));
+  return typecheck_program(std::move(p));
+}
+
+SizeEnv mm_sizes(int64_t n, int64_t m, int64_t k) {
+  return SizeEnv{{"n", n}, {"m", m}, {"k", k}};
+}
+
+Values matmul_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t n = sz.at("n"), m = sz.at("m"), k = sz.at("k");
+  const Value &a = in[0], &b = in[1];
+  Value c = Value::zeros(Scalar::F32, {n, k});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      double acc = 0;
+      for (int64_t l = 0; l < m; ++l) {
+        acc += a.fget(i * m + l) * b.fget(l * k + j);
+      }
+      c.fset(i * k + j, acc);
+    }
+  }
+  return {c};
+}
+
+}  // namespace
+
+Benchmark bench_matmul() {
+  Benchmark b;
+  b.name = "matmul";
+  b.program = matmul_program();
+  // Representative square/skinny shapes; the Fig. 2 binary sweeps n itself.
+  b.datasets = {
+      {"square", mm_sizes(1024, 1024, 1024), "1024^3"},
+      {"skinny", mm_sizes(4, 1 << 16, 4), "4 x 2^16 x 4"},
+  };
+  b.tuning = {
+      {"t-square", mm_sizes(512, 512, 512), ""},
+      {"t-skinny", mm_sizes(8, 1 << 14, 8), ""},
+  };
+  b.test_sizes = mm_sizes(5, 7, 3);
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{
+        random_f32(rng, {sz.at("n"), sz.at("m")}, -1, 1),
+        random_f32(rng, {sz.at("m"), sz.at("k")}, -1, 1)};
+  };
+  b.golden = matmul_golden;
+  b.reference = [](const DeviceProfile& dev, const SizeEnv& sz) {
+    return reference_gemm(dev, sz.at("n"), sz.at("m"), sz.at("k"));
+  };
+  b.reference_name = "cuBLAS/Parboil";
+  return b;
+}
+
+}  // namespace incflat

@@ -1,0 +1,253 @@
+// Rodinia benchmarks with native nested parallelism (paper Sec. 5.3):
+// Backprop, LavaMD, NW.  The numerical payloads are simplified but every
+// benchmark keeps the parallel structure the paper's analysis relies on.
+#include <cmath>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/benchsuite/reference.h"
+#include "src/ir/builder.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+
+namespace {
+
+using namespace ib;
+
+Type f32s() { return Type::scalar(Scalar::F32); }
+
+// ------------------------------------------------------------- Backprop
+//
+// Forward layer: map over output neurons of a redomap over the (huge) input
+// layer, plus the weight-update sweep.  Under MF the redomap is
+// sequentialised — 16 threads for a 2^20-wide reduction; AIF parallelises
+// it (the paper attributes AIF's win to keeping the map-reduce fused).
+Program backprop_program() {
+  Program p;
+  p.name = "Backprop";
+  p.inputs = {
+      {"wss", Type::array(Scalar::F32, {Dim::v("n_out"), Dim::v("n_in")})},
+      {"xs", Type::array(Scalar::F32, {Dim::v("n_in")})},
+  };
+  // The map-into-reduce chain is written *unfused*; the fusion pass turns
+  // it into a redomap for incremental flattening, while the harness keeps
+  // it unfused under moderate flattening (fuse_moderate = false below),
+  // reproducing the paper's Sec. 5.3 setup.
+  Lambda wx = lam({ib::p("w", f32s()), ib::p("x", f32s())},
+                  mul(var("w"), var("x")));
+  Lambda neuron =
+      lam({ib::p("ws", Type())},
+          let1("prods", map(wx, {var("ws"), var("xs")}),
+               let1("s",
+                    reduce(binlam("+", Scalar::F32), {cf32(0)},
+                           {var("prods")}),
+                    divide(cf32(1), add(cf32(1), exp_(neg(var("s"))))))));
+  Lambda upd_elem = lam({ib::p("w2", f32s()), ib::p("x2", f32s())},
+                        add(var("w2"), mul(mul(cf32(0.3), var("d")),
+                                           var("x2"))));
+  Lambda upd_row =
+      lam({ib::p("ws2", Type()), ib::p("d", f32s())},
+          map(upd_elem, {var("ws2"), var("xs")}));
+  Lambda dsig = lam({ib::p("h", f32s())},
+                    mul(var("h"), sub(cf32(1), var("h"))));
+  p.body = let1("hidden", map1(neuron, var("wss")),
+                let1("delta", map1(dsig, var("hidden")),
+                     map(upd_row, {var("wss"), var("delta")})));
+  return typecheck_program(std::move(p));
+}
+
+Values backprop_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t no = sz.at("n_out"), ni = sz.at("n_in");
+  const Value &wss = in[0], &xs = in[1];
+  Value out = Value::zeros(Scalar::F32, {no, ni});
+  for (int64_t o = 0; o < no; ++o) {
+    double acc = 0;
+    for (int64_t i = 0; i < ni; ++i) acc += wss.fget(o * ni + i) * xs.fget(i);
+    const double h = 1.0 / (1.0 + std::exp(-acc));
+    const double d = h * (1.0 - h);
+    for (int64_t i = 0; i < ni; ++i) {
+      out.fset(o * ni + i, wss.fget(o * ni + i) + 0.3 * d * xs.fget(i));
+    }
+  }
+  return {out};
+}
+
+// --------------------------------------------------------------- LavaMD
+//
+// map over boxes { map over particles { loop over neighbour boxes
+// { redomap over the neighbour's particles } } }.  Both Rodinia and MF
+// exploit the two outer levels and tile the inner redomap (optimal on D1);
+// on D2 (27 boxes) AIF wins by parallelising the inner redomap at
+// workgroup level.
+Program lavamd_program() {
+  Program p;
+  p.name = "LavaMD";
+  p.inputs = {
+      {"pos", Type::array(Scalar::F32, {Dim::v("boxes"), Dim::v("ppb")})},
+  };
+  p.extra_sizes = {"nbr"};
+  // Interaction with one particle of the neighbour box, gathered by index.
+  Lambda inter =
+      lam({ib::p("qi", Type::scalar(Scalar::I64))},
+          let1("q",
+               index(var("pos"), {bin("%", add(var("bid"), var("j")),
+                                      var("boxes")),
+                                  var("qi")}),
+               divide(cf32(1),
+                      add(mul(sub(var("pp"), var("q")),
+                              sub(var("pp"), var("q"))),
+                          cf32(0.1)))));
+  ExprP nbr_force = redomap(binlam("+", Scalar::F32), inter, {cf32(0)},
+                            {iota(Dim::v("ppb"))});
+  Lambda per_particle =
+      lam({ib::p("pp", f32s())},
+          loop({"acc"}, {cf32(0)}, "j", var("nbr"),
+               let1("f", nbr_force, add(var("acc"), var("f")))));
+  Lambda per_box = lam({ib::p("box_ps", Type()),
+                        ib::p("bid", Type::scalar(Scalar::I64))},
+                       map1(per_particle, var("box_ps")));
+  p.body = map(per_box, {var("pos"), iota(Dim::v("boxes"))});
+  return typecheck_program(std::move(p));
+}
+
+Values lavamd_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t nb = sz.at("boxes"), pp = sz.at("ppb"), K = sz.at("nbr");
+  const Value& pos = in[0];
+  Value out = Value::zeros(Scalar::F32, {nb, pp});
+  for (int64_t b = 0; b < nb; ++b) {
+    for (int64_t i = 0; i < pp; ++i) {
+      const double pi = pos.fget(b * pp + i);
+      double acc = 0;
+      for (int64_t j = 0; j < K; ++j) {
+        const int64_t nbx = (b + j) % nb;
+        for (int64_t qi = 0; qi < pp; ++qi) {
+          const double q = pos.fget(nbx * pp + qi);
+          acc += 1.0 / ((pi - q) * (pi - q) + 0.1);
+        }
+      }
+      out.fset(b * pp + i, acc);
+    }
+  }
+  return {out};
+}
+
+// ------------------------------------------------------------------- NW
+//
+// Needleman-Wunsch is a blocked wavefront; each anti-diagonal wave relaxes
+// blocks whose cells carry a scan-like dependence.  Diagonal in-place
+// slices are not expressible (the paper makes the same observation about
+// its Futhark port), so this program keeps the performance-relevant
+// structure: a sequential wave loop over a map of per-block scans.
+Program nw_program() {
+  Program p;
+  p.name = "NW";
+  p.inputs = {
+      {"mat0", Type::array(Scalar::F32, {Dim::v("nblocks"), Dim::v("bsize")})},
+  };
+  p.extra_sizes = {"waves"};
+  Lambda blend = lam({ib::p("s", f32s()), ib::p("c", f32s())},
+                     add(mul(cf32(0.9), var("s")), mul(cf32(0.1), var("c"))));
+  Lambda per_block =
+      lam({ib::p("blk", Type())},
+          let1("ss",
+               scan(binlam("max", Scalar::F32), {cf32(-1e30)}, {var("blk")}),
+               map(blend, {var("ss"), var("blk")})));
+  p.body = loop({"mat"}, {var("mat0")}, "w", var("waves"),
+                map1(per_block, var("mat")));
+  return typecheck_program(std::move(p));
+}
+
+Values nw_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t nb = sz.at("nblocks"), bs = sz.at("bsize");
+  const int64_t waves = sz.at("waves");
+  Value mat = in[0];
+  for (int64_t w = 0; w < waves; ++w) {
+    for (int64_t b = 0; b < nb; ++b) {
+      double mx = -1e30;
+      for (int64_t c = 0; c < bs; ++c) {
+        mx = std::max(mx, mat.fget(b * bs + c));
+        mat.fset(b * bs + c, 0.9 * mx + 0.1 * mat.fget(b * bs + c));
+      }
+    }
+  }
+  return {mat};
+}
+
+}  // namespace
+
+Benchmark bench_backprop() {
+  Benchmark b;
+  b.name = "Backprop";
+  b.program = backprop_program();
+  b.datasets = {
+      {"D1", {{"n_out", 16}, {"n_in", 1 << 14}}, "2^14 neurons"},
+      {"D2", {{"n_out", 16}, {"n_in", 1 << 20}}, "2^20 neurons"},
+  };
+  b.tuning = {
+      {"t-D1", {{"n_out", 16}, {"n_in", 1 << 13}}, ""},
+      {"t-D2", {{"n_out", 16}, {"n_in", 1 << 19}}, ""},
+  };
+  b.test_sizes = {{"n_out", 3}, {"n_in", 7}};
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{
+        random_f32(rng, {sz.at("n_out"), sz.at("n_in")}, -0.1, 0.1),
+        random_f32(rng, {sz.at("n_in")}, -1, 1)};
+  };
+  b.golden = backprop_golden;
+  b.reference = reference_rodinia_backprop;
+  b.reference_name = "Rodinia";
+  b.fuse_moderate = false;  // Sec. 5.3: fusion prevented for MF
+  return b;
+}
+
+Benchmark bench_lavamd() {
+  Benchmark b;
+  b.name = "LavaMD";
+  b.program = lavamd_program();
+  b.datasets = {
+      {"D1", {{"boxes", 1000}, {"ppb", 50}, {"nbr", 27}},
+       "10^3 boxes, 50 per box"},
+      {"D2", {{"boxes", 27}, {"ppb", 50}, {"nbr", 27}},
+       "3^3 boxes, 50 per box"},
+  };
+  b.tuning = {
+      {"t-D1", {{"boxes", 512}, {"ppb", 50}, {"nbr", 27}}, ""},
+      {"t-D2", {{"boxes", 8}, {"ppb", 50}, {"nbr", 27}}, ""},
+  };
+  b.test_sizes = {{"boxes", 4}, {"ppb", 5}, {"nbr", 3}};
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{
+        random_f32(rng, {sz.at("boxes"), sz.at("ppb")}, -1, 1)};
+  };
+  b.golden = lavamd_golden;
+  b.reference = reference_rodinia_lavamd;
+  b.reference_name = "Rodinia";
+  return b;
+}
+
+Benchmark bench_nw() {
+  Benchmark b;
+  b.name = "NW";
+  b.program = nw_program();
+  b.datasets = {
+      {"D1", {{"nblocks", 128}, {"bsize", 256}, {"waves", 32}},
+       "2048 edge length"},
+      {"D2", {{"nblocks", 64}, {"bsize", 128}, {"waves", 16}},
+       "1024 edge length"},
+  };
+  b.tuning = {
+      {"t-D1", {{"nblocks", 64}, {"bsize", 256}, {"waves", 8}}, ""},
+      {"t-D2", {{"nblocks", 32}, {"bsize", 128}, {"waves", 8}}, ""},
+  };
+  b.test_sizes = {{"nblocks", 3}, {"bsize", 6}, {"waves", 2}};
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{
+        random_f32(rng, {sz.at("nblocks"), sz.at("bsize")}, -1, 1)};
+  };
+  b.golden = nw_golden;
+  b.reference = reference_rodinia_nw;
+  b.reference_name = "Rodinia";
+  return b;
+}
+
+}  // namespace incflat

@@ -1,0 +1,234 @@
+// Rodinia benchmarks extended with an extra outer map (paper Sec. 5.3):
+// NN, SRAD, Pathfinder.  "The Futhark ports ... have been extended with an
+// extra layer of parallelism by adding a map on top; essentially performing
+// multiple batches of the original benchmark in parallel."  D1 uses batch
+// factor 1 (comparable to the unmodified Rodinia code); D2 batches.
+#include <cmath>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/benchsuite/reference.h"
+#include "src/ir/builder.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+
+namespace {
+
+using namespace ib;
+
+Type f32s() { return Type::scalar(Scalar::F32); }
+
+// ------------------------------------------------------------------- NN
+//
+// map over query batches of a min-distance redomap over the points.
+Program nn_program() {
+  Program p;
+  p.name = "NN";
+  p.inputs = {
+      {"qs", Type::array(Scalar::F32, {Dim::v("nq")})},
+      {"points", Type::array(Scalar::F32, {Dim::v("npts")})},
+  };
+  Lambda dist = lam({ib::p("pt", f32s())}, abs_(sub(var("pt"), var("q"))));
+  Lambda per_query =
+      lam({ib::p("q", f32s())},
+          redomap(binlam("min", Scalar::F32), dist, {cf32(1e30)},
+                  {var("points")}));
+  p.body = map1(per_query, var("qs"));
+  return typecheck_program(std::move(p));
+}
+
+Values nn_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t nq = sz.at("nq"), np = sz.at("npts");
+  const Value &qs = in[0], &pts = in[1];
+  Value out = Value::zeros(Scalar::F32, {nq});
+  for (int64_t i = 0; i < nq; ++i) {
+    double best = 1e30;
+    for (int64_t j = 0; j < np; ++j) {
+      best = std::min(best, std::fabs(pts.fget(j) - qs.fget(i)));
+    }
+    out.fset(i, best);
+  }
+  return {out};
+}
+
+// ----------------------------------------------------------------- SRAD
+//
+// map over images of an iteration loop: a whole-image reduction feeding an
+// elementwise update (the diffusion-coefficient structure of SRAD).
+Program srad_program() {
+  Program p;
+  p.name = "SRAD";
+  p.inputs = {
+      {"imgs", Type::array(Scalar::F32,
+                           {Dim::v("nimg"), Dim::v("h"), Dim::v("w")})},
+  };
+  p.extra_sizes = {"iters"};
+  Lambda ident = lam({ib::p("v", f32s())}, var("v"));
+  Lambda row_sum =
+      lam({ib::p("row", Type())},
+          redomap(binlam("+", Scalar::F32), ident, {cf32(0)}, {var("row")}));
+  ExprP img_sum = redomap(binlam("+", Scalar::F32), row_sum, {cf32(0)},
+                          {var("im")});
+  Lambda upd_px =
+      lam({ib::p("x", f32s())},
+          add(var("x"), mul(cf32(0.1), sub(var("mu"), var("x")))));
+  Lambda upd_row = lam({ib::p("row2", Type())}, map1(upd_px, var("row2")));
+  ExprP iter_body =
+      let1("s", img_sum,
+           let1("mu",
+                divide(var("s"), un("i2f", mul(var("h"), var("w")))),
+                map1(upd_row, var("im"))));
+  Lambda per_img = lam({ib::p("img", Type())},
+                       loop({"im"}, {var("img")}, "it", var("iters"),
+                            iter_body));
+  p.body = map1(per_img, var("imgs"));
+  return typecheck_program(std::move(p));
+}
+
+Values srad_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t ni = sz.at("nimg"), h = sz.at("h"), w = sz.at("w");
+  const int64_t iters = sz.at("iters");
+  Value imgs = in[0];
+  for (int64_t n = 0; n < ni; ++n) {
+    for (int64_t t = 0; t < iters; ++t) {
+      double s = 0;
+      for (int64_t k = 0; k < h * w; ++k) s += imgs.fget(n * h * w + k);
+      const double mu = s / static_cast<double>(h * w);
+      for (int64_t k = 0; k < h * w; ++k) {
+        const double x = imgs.fget(n * h * w + k);
+        imgs.fset(n * h * w + k, x + 0.1 * (mu - x));
+      }
+    }
+  }
+  return {imgs};
+}
+
+// ------------------------------------------------------------ Pathfinder
+//
+// map over batches of the classic dynamic program: a sequential loop over
+// rows, each row a map over columns reading the three predecessors.
+Program pathfinder_program() {
+  Program p;
+  p.name = "Pathfinder";
+  p.inputs = {
+      {"grids", Type::array(Scalar::F32,
+                            {Dim::v("nbatch"), Dim::v("rows"),
+                             Dim::v("cols")})},
+  };
+  ExprP jm1 = max_(ci64(0), sub(var("jj"), ci64(1)));
+  ExprP jp1 = min_(sub(var("cols"), ci64(1)), add(var("jj"), ci64(1)));
+  Lambda per_col =
+      lam({ib::p("jj", Type::scalar(Scalar::I64))},
+          add(index(var("grid"), {var("r"), var("jj")}),
+              min_(index(var("cur"), {jm1}),
+                   min_(index(var("cur"), {var("jj")}),
+                        index(var("cur"), {jp1})))));
+  Lambda per_grid =
+      lam({ib::p("grid", Type())},
+          loop({"cur"}, {replicate(Dim::v("cols"), cf32(0))}, "r",
+               var("rows"), map1(per_col, iota(Dim::v("cols")))));
+  p.body = map1(per_grid, var("grids"));
+  return typecheck_program(std::move(p));
+}
+
+Values pathfinder_golden(const SizeEnv& sz, const std::vector<Value>& in) {
+  const int64_t nb = sz.at("nbatch"), rows = sz.at("rows");
+  const int64_t cols = sz.at("cols");
+  const Value& grids = in[0];
+  Value out = Value::zeros(Scalar::F32, {nb, cols});
+  for (int64_t b = 0; b < nb; ++b) {
+    std::vector<double> cur(static_cast<size_t>(cols), 0.0);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::vector<double> next(static_cast<size_t>(cols));
+      for (int64_t j = 0; j < cols; ++j) {
+        const double up = cur[static_cast<size_t>(j)];
+        const double ul = cur[static_cast<size_t>(std::max<int64_t>(0, j - 1))];
+        const double ur =
+            cur[static_cast<size_t>(std::min<int64_t>(cols - 1, j + 1))];
+        next[static_cast<size_t>(j)] =
+            grids.fget((b * rows + r) * cols + j) +
+            std::min(ul, std::min(up, ur));
+      }
+      cur = next;
+    }
+    for (int64_t j = 0; j < cols; ++j) out.fset(b * cols + j, cur[static_cast<size_t>(j)]);
+  }
+  return {out};
+}
+
+}  // namespace
+
+Benchmark bench_nn() {
+  Benchmark b;
+  b.name = "NN";
+  b.program = nn_program();
+  b.datasets = {
+      {"D1", {{"nq", 1}, {"npts", 855280}}, "1 x 855280 points"},
+      {"D2", {{"nq", 4096}, {"npts", 128}}, "4096 x 128 points"},
+  };
+  b.tuning = {
+      {"t-D1", {{"nq", 1}, {"npts", 400000}}, ""},
+      {"t-D2", {{"nq", 2048}, {"npts", 128}}, ""},
+  };
+  b.test_sizes = {{"nq", 4}, {"npts", 9}};
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{random_f32(rng, {sz.at("nq")}, 0, 10),
+                              random_f32(rng, {sz.at("npts")}, 0, 10)};
+  };
+  b.golden = nn_golden;
+  b.reference = reference_rodinia_nn;
+  b.reference_name = "Rodinia";
+  return b;
+}
+
+Benchmark bench_srad() {
+  Benchmark b;
+  b.name = "SRAD";
+  b.program = srad_program();
+  b.datasets = {
+      {"D1", {{"nimg", 1}, {"h", 502}, {"w", 458}, {"iters", 8}},
+       "1 x 502x458 image"},
+      {"D2", {{"nimg", 1024}, {"h", 16}, {"w", 16}, {"iters", 8}},
+       "1024 16x16 images"},
+  };
+  b.tuning = {
+      {"t-D1", {{"nimg", 1}, {"h", 256}, {"w", 256}, {"iters", 4}}, ""},
+      {"t-D2", {{"nimg", 512}, {"h", 16}, {"w", 16}, {"iters", 4}}, ""},
+  };
+  b.test_sizes = {{"nimg", 2}, {"h", 3}, {"w", 4}, {"iters", 3}};
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{
+        random_f32(rng, {sz.at("nimg"), sz.at("h"), sz.at("w")}, 0, 1)};
+  };
+  b.golden = srad_golden;
+  b.reference = reference_rodinia_srad;
+  b.reference_name = "Rodinia";
+  return b;
+}
+
+Benchmark bench_pathfinder() {
+  Benchmark b;
+  b.name = "Pathfinder";
+  b.program = pathfinder_program();
+  b.datasets = {
+      {"D1", {{"nbatch", 1}, {"rows", 100}, {"cols", 100000}},
+       "1 x 100 x 10^5 points"},
+      {"D2", {{"nbatch", 391}, {"rows", 100}, {"cols", 256}},
+       "391 x 100 x 256 points"},
+  };
+  b.tuning = {
+      {"t-D1", {{"nbatch", 1}, {"rows", 50}, {"cols", 50000}}, ""},
+      {"t-D2", {{"nbatch", 200}, {"rows", 50}, {"cols", 256}}, ""},
+  };
+  b.test_sizes = {{"nbatch", 2}, {"rows", 3}, {"cols", 5}};
+  b.gen_inputs = [](Rng& rng, const SizeEnv& sz) {
+    return std::vector<Value>{random_f32(
+        rng, {sz.at("nbatch"), sz.at("rows"), sz.at("cols")}, 0, 1)};
+  };
+  b.golden = pathfinder_golden;
+  b.reference = reference_rodinia_pathfinder;
+  b.reference_name = "Rodinia";
+  return b;
+}
+
+}  // namespace incflat

@@ -1,0 +1,51 @@
+// Analytic cost models of the paper's hand-written reference
+// implementations (Sec. 5): cuBLAS / Parboil register-tiled GEMM, the two
+// FinPar OpenCL LocVolCalib implementations, the outer-parallel
+// OptionPricing reference, and the six Rodinia OpenCL kernels.
+//
+// Each model prices the algorithmic structure the paper describes for that
+// reference — including its known weaknesses: cuBLAS's degenerate-shape
+// padding (Fig. 2, n < 3), FinPar-Out's work-efficient sequential tridag,
+// Rodinia Backprop/NN's final reduction on the *CPU* (Sec. 5.3), and
+// Pathfinder's pyramidal tiling that "does not seem to pay off".  All run on
+// the same simulated device profiles as the compiled Futhark-like code, so
+// speedup *shapes* are comparable.
+#pragma once
+
+#include "src/gpusim/cost.h"
+#include "src/gpusim/device.h"
+#include "src/ir/type.h"
+
+namespace incflat {
+
+/// Register+block-tiled GEMM (cuBLAS on the K40, Parboil on the Vega 64):
+/// C[n][k] = A[n][m] * B[m][k].
+double reference_gemm(const DeviceProfile& dev, int64_t n, int64_t m,
+                      int64_t k);
+
+/// FinPar LocVolCalib, outerparallel version (sequential work-efficient
+/// tridag per thread).  Sizes: numS, numT, numX, numY.
+double reference_finpar_out(const DeviceProfile& dev, const SizeEnv& sz);
+
+/// FinPar LocVolCalib, all-parallel version (tridag in local memory).
+double reference_finpar_all(const DeviceProfile& dev, const SizeEnv& sz);
+
+/// LexiFi OptionPricing reference: outer (path-level) parallelism only.
+/// Sizes: paths, dates, und.
+double reference_optionpricing(const DeviceProfile& dev, const SizeEnv& sz);
+
+/// Rodinia kernels.  Size keys match the corresponding bench_* programs.
+double reference_rodinia_backprop(const DeviceProfile& dev, const SizeEnv& sz);
+double reference_rodinia_lavamd(const DeviceProfile& dev, const SizeEnv& sz);
+double reference_rodinia_nw(const DeviceProfile& dev, const SizeEnv& sz);
+double reference_rodinia_nn(const DeviceProfile& dev, const SizeEnv& sz);
+double reference_rodinia_srad(const DeviceProfile& dev, const SizeEnv& sz);
+double reference_rodinia_pathfinder(const DeviceProfile& dev,
+                                    const SizeEnv& sz);
+
+/// Cost of shipping `bytes` to the host and reducing there — the Rodinia
+/// Backprop/NN pattern the paper calls out.  PCIe-class transfer plus a
+/// single-core CPU sweep.
+double cpu_reduce_cost(double bytes);
+
+}  // namespace incflat

@@ -1,0 +1,47 @@
+#include "src/exec/exec.h"
+
+#include <sstream>
+
+#include "src/support/str.h"
+
+namespace incflat {
+
+Compiled compile(const Program& src, FlattenMode mode) {
+  Compiled c;
+  c.source = src;
+  c.flat = flatten(src, mode);
+  c.mode = mode;
+  return c;
+}
+
+RunEstimate simulate(const DeviceProfile& dev, const Compiled& c,
+                     const SizeEnv& sizes, const ThresholdEnv& thresholds) {
+  return estimate_run(dev, c.flat.program, sizes, thresholds);
+}
+
+Values execute(const DeviceProfile& dev, const Compiled& c,
+               const SizeEnv& sizes, const ThresholdEnv& thresholds,
+               const std::vector<Value>& inputs) {
+  InterpCtx ctx;
+  ctx.sizes = sizes;
+  ctx.thresholds = thresholds;
+  ctx.max_group_size = dev.max_group_size;
+  return run_program(ctx, c.flat.program, inputs);
+}
+
+Values execute_source(const Compiled& c, const SizeEnv& sizes,
+                      const std::vector<Value>& inputs) {
+  InterpCtx ctx;
+  ctx.sizes = sizes;
+  return run_program(ctx, c.source, inputs);
+}
+
+std::string estimate_str(const RunEstimate& e) {
+  std::ostringstream os;
+  os << fmt_us(e.time_us) << " (" << e.kernel_launches << " launches, "
+     << fmt_double(e.total.gbytes / 1e6, 2) << " MB global, "
+     << fmt_double(e.total.flops / 1e6, 2) << " Mflop)";
+  return os.str();
+}
+
+}  // namespace incflat

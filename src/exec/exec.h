@@ -1,0 +1,40 @@
+// Convenience facade tying the pipeline together: compile (flatten) a source
+// program once, then simulate its performance on a device profile and/or
+// execute it for values via the reference interpreter.
+#pragma once
+
+#include "src/flatten/flatten.h"
+#include "src/gpusim/cost.h"
+#include "src/interp/interp.h"
+
+namespace incflat {
+
+/// A flattened program bundled with its source and compilation mode.
+struct Compiled {
+  Program source;        // type-annotated source program
+  FlattenResult flat;    // target program + threshold registry
+  FlattenMode mode = FlattenMode::Incremental;
+};
+
+/// Flatten `src` (which must be type-annotated) under `mode`.
+Compiled compile(const Program& src, FlattenMode mode);
+
+/// Price one run of the compiled program on `dev` for dataset `sizes`.
+RunEstimate simulate(const DeviceProfile& dev, const Compiled& c,
+                     const SizeEnv& sizes,
+                     const ThresholdEnv& thresholds = {});
+
+/// Execute the compiled (target) program for actual values.  `dev` supplies
+/// the workgroup limit consulted by intra-group guards.
+Values execute(const DeviceProfile& dev, const Compiled& c,
+               const SizeEnv& sizes, const ThresholdEnv& thresholds,
+               const std::vector<Value>& inputs);
+
+/// Execute the *source* program (reference semantics).
+Values execute_source(const Compiled& c, const SizeEnv& sizes,
+                      const std::vector<Value>& inputs);
+
+/// One-line human-readable form of a run estimate.
+std::string estimate_str(const RunEstimate& e);
+
+}  // namespace incflat

@@ -1,0 +1,149 @@
+#include "src/flatten/normalize.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/ir/builder.h"
+#include "src/ir/traverse.h"
+#include "src/ir/typecheck.h"
+#include "src/support/error.h"
+
+namespace incflat {
+
+namespace {
+
+using Binds = std::vector<std::pair<std::string, ExprP>>;
+
+struct Normalizer {
+  ib::NameGen ng;
+
+  /// Normalise a subexpression in *scalar operand position*: if it contains
+  /// parallelism, emit a binding and return the bound variable.
+  ExprP operand(const ExprP& e, Binds& binds) {
+    ExprP n = norm(e);
+    if (!has_soacs(n)) return n;
+    std::string v = ng.fresh("anf");
+    binds.emplace_back(v, n);
+    return ib::var(v);
+  }
+
+  std::vector<ExprP> operands(const std::vector<ExprP>& es, Binds& binds) {
+    std::vector<ExprP> out;
+    out.reserve(es.size());
+    for (const auto& e : es) out.push_back(operand(e, binds));
+    return out;
+  }
+
+  static ExprP wrap(const Binds& binds, ExprP e) {
+    for (auto it = binds.rbegin(); it != binds.rend(); ++it) {
+      e = ib::let1(it->first, it->second, std::move(e));
+    }
+    return e;
+  }
+
+  Lambda norm_lambda(const Lambda& l) {
+    return Lambda{l.params, norm(l.body)};
+  }
+
+  std::vector<ExprP> norm_list(const std::vector<ExprP>& es) {
+    std::vector<ExprP> out;
+    out.reserve(es.size());
+    for (const auto& e : es) out.push_back(norm(e));
+    return out;
+  }
+
+  ExprP norm(const ExprP& e) {
+    if (!e) return e;
+    if (e->is<VarE>() || e->is<ConstE>() || e->is<IotaE>() ||
+        e->is<ThresholdCmpE>()) {
+      return e;
+    }
+    if (auto* b = e->as<BinOpE>()) {
+      Binds binds;
+      ExprP l = operand(b->lhs, binds), r = operand(b->rhs, binds);
+      return wrap(binds, ib::bin(b->op, l, r));
+    }
+    if (auto* u = e->as<UnOpE>()) {
+      Binds binds;
+      ExprP x = operand(u->e, binds);
+      return wrap(binds, ib::un(u->op, x));
+    }
+    if (auto* i = e->as<IfE>()) {
+      Binds binds;
+      ExprP c = operand(i->cond, binds);
+      return wrap(binds, ib::iff(c, norm(i->then_e), norm(i->else_e)));
+    }
+    if (auto* l = e->as<LetE>()) {
+      return mk(LetE{l->vars, norm(l->rhs), norm(l->body)});
+    }
+    if (auto* lp = e->as<LoopE>()) {
+      Binds binds;
+      std::vector<ExprP> inits = operands(lp->inits, binds);
+      ExprP count = operand(lp->count, binds);
+      return wrap(binds,
+                  mk(LoopE{lp->params, inits, lp->ivar, count,
+                           norm(lp->body)}));
+    }
+    if (auto* m = e->as<MapE>()) {
+      return mk(MapE{norm_lambda(m->f), norm_list(m->arrays)});
+    }
+    if (auto* r = e->as<ReduceE>()) {
+      Binds binds;
+      std::vector<ExprP> neutral = operands(r->neutral, binds);
+      return wrap(binds, mk(ReduceE{norm_lambda(r->op), neutral,
+                                    norm_list(r->arrays)}));
+    }
+    if (auto* s = e->as<ScanE>()) {
+      Binds binds;
+      std::vector<ExprP> neutral = operands(s->neutral, binds);
+      return wrap(binds, mk(ScanE{norm_lambda(s->op), neutral,
+                                  norm_list(s->arrays)}));
+    }
+    if (auto* rm = e->as<RedomapE>()) {
+      Binds binds;
+      std::vector<ExprP> neutral = operands(rm->neutral, binds);
+      return wrap(binds,
+                  mk(RedomapE{norm_lambda(rm->red), norm_lambda(rm->mapf),
+                              neutral, norm_list(rm->arrays)}));
+    }
+    if (auto* sm = e->as<ScanomapE>()) {
+      Binds binds;
+      std::vector<ExprP> neutral = operands(sm->neutral, binds);
+      return wrap(binds,
+                  mk(ScanomapE{norm_lambda(sm->red), norm_lambda(sm->mapf),
+                               neutral, norm_list(sm->arrays)}));
+    }
+    if (auto* rp = e->as<ReplicateE>()) {
+      Binds binds;
+      ExprP x = operand(rp->elem, binds);
+      return wrap(binds, mk(ReplicateE{rp->count, x}));
+    }
+    if (auto* ra = e->as<RearrangeE>()) {
+      return mk(RearrangeE{ra->perm, norm(ra->e)});
+    }
+    if (auto* ix = e->as<IndexE>()) {
+      Binds binds;
+      ExprP arr = operand(ix->arr, binds);
+      std::vector<ExprP> idxs = operands(ix->idxs, binds);
+      return wrap(binds, mk(IndexE{arr, idxs}));
+    }
+    if (auto* t = e->as<TupleE>()) {
+      return mk(TupleE{norm_list(t->elems)});
+    }
+    INCFLAT_FAIL("normalize: unhandled node");
+  }
+};
+
+}  // namespace
+
+ExprP normalize_expr(const ExprP& e) {
+  Normalizer n;
+  return n.norm(e);
+}
+
+Program normalize_program(Program p) {
+  p.body = normalize_expr(p.body);
+  return typecheck_program(std::move(p));
+}
+
+}  // namespace incflat

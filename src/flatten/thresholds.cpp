@@ -1,0 +1,80 @@
+#include "src/flatten/thresholds.h"
+
+#include <sstream>
+
+#include "src/support/error.h"
+
+namespace incflat {
+
+std::string ThresholdRegistry::fresh(const std::string& kind,
+                                     const SizeExpr& par, const SizeExpr& fit,
+                                     const GuardPath& path) {
+  std::string name = kind + "_" + std::to_string(counter_++);
+  index_[name] = infos_.size();
+  infos_.push_back(ThresholdInfo{name, par, fit, path});
+  return name;
+}
+
+void ThresholdRegistry::truncate(size_t mark) {
+  INCFLAT_CHECK(mark <= infos_.size(), "threshold truncate beyond size");
+  while (infos_.size() > mark) {
+    index_.erase(infos_.back().name);
+    infos_.pop_back();
+  }
+}
+
+const ThresholdInfo& ThresholdRegistry::info(const std::string& name) const {
+  auto it = index_.find(name);
+  INCFLAT_CHECK(it != index_.end(), "unknown threshold " + name);
+  return infos_[it->second];
+}
+
+std::vector<bool> ThresholdRegistry::path_signature(
+    const SizeEnv& sizes, const std::map<std::string, int64_t>& assignment,
+    int64_t default_value, int64_t max_group_size) const {
+  // A guard is *reachable* if every ancestor on its path takes the recorded
+  // branch under this assignment.  Unreachable guards contribute a fixed
+  // `false` so signatures stay comparable position-by-position.
+  std::map<std::string, bool> taken;
+  std::vector<bool> sig;
+  sig.reserve(infos_.size());
+  for (const auto& ti : infos_) {
+    bool reachable = true;
+    for (const auto& [anc, dir] : ti.path) {
+      auto it = taken.find(anc);
+      if (it == taken.end() || it->second != dir) {
+        reachable = false;
+        break;
+      }
+    }
+    bool branch = false;
+    if (reachable) {
+      auto it = assignment.find(ti.name);
+      const int64_t tv = it == assignment.end() ? default_value : it->second;
+      branch = ti.par.eval(sizes) >= tv &&
+               (ti.fit.alts.empty() || ti.fit.eval(sizes) <= max_group_size);
+    }
+    taken[ti.name] = branch;
+    sig.push_back(reachable && branch);
+  }
+  return sig;
+}
+
+std::string ThresholdRegistry::tree_str() const {
+  std::ostringstream os;
+  for (const auto& ti : infos_) {
+    os << std::string(2 * ti.path.size(), ' ') << ti.name << ": "
+       << ti.par.str() << " >= ?";
+    if (!ti.path.empty()) {
+      os << "   [under";
+      for (const auto& [anc, dir] : ti.path) {
+        os << " " << anc << "=" << (dir ? "T" : "F");
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace incflat

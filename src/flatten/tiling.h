@@ -1,0 +1,27 @@
+// Block-tiling analysis (Sec. 2.2).
+//
+// Sequentialising an inner redomap inside a multi-dimensional segmap is what
+// *enables* block tiling in scratchpad memory: each workgroup stages tiles
+// of the traversed arrays so every global element is read once per tile
+// instead of once per thread.  This pass marks the segmaps where the Futhark
+// compiler's tiling applies; the GPU cost model then divides the redomap's
+// global traffic by the device's tile size.
+//
+// The detection mirrors the moderate-flattening-era tiler: a level>=1 segmap
+// with at least two space dimensions, no intra-group parallelism, whose body
+// contains a sequential redomap over whole-array variables — each of which
+// is then invariant to at least one of the two innermost space dimensions
+// (bound at another level, or free in the kernel).
+#pragma once
+
+#include "src/ir/expr.h"
+
+namespace incflat {
+
+/// Return a copy of `p` with `block_tiled` set on every qualifying segmap.
+Program apply_tiling(Program p);
+
+/// Number of block-tiled kernels in the program (for tests/reports).
+int64_t count_tiled(const ExprP& e);
+
+}  // namespace incflat

@@ -1,0 +1,62 @@
+#include "src/gpusim/device.h"
+
+namespace incflat {
+
+DeviceProfile device_k40() {
+  DeviceProfile d;
+  d.name = "k40";
+  d.num_cus = 15;
+  d.max_group_size = 1024;
+  d.default_group_size = 256;
+  d.local_mem_bytes = 48 * 1024;
+  d.flop_rate = 4.29e6;   // 4.29 Tflop/s SP
+  d.gmem_bw = 288e3;      // 288 GB/s
+  d.lmem_bw = 1.8e6;      // aggregate shared-memory bandwidth
+  d.launch_overhead_us = 5.0;
+  d.saturation_threads = 15 * 2048;  // 30720 ~= 2^15
+  d.tile_size = 16;
+  d.st_gmem_rate = 10.0;
+  d.st_lmem_rate = 40.0;
+  d.st_flop_rate = 140.0;
+  return d;
+}
+
+DeviceProfile device_vega64() {
+  DeviceProfile d;
+  d.name = "vega64";
+  d.num_cus = 64;
+  d.max_group_size = 256;
+  d.default_group_size = 256;
+  d.local_mem_bytes = 64 * 1024;
+  d.flop_rate = 12.5e6;   // 12.5 Tflop/s SP
+  d.gmem_bw = 484e3;      // 484 GB/s HBM2
+  d.lmem_bw = 9.0e6;
+  d.launch_overhead_us = 8.0;
+  d.saturation_threads = 64 * 2560;  // 163840
+  d.tile_size = 16;
+  d.st_gmem_rate = 4.0;
+  d.st_lmem_rate = 16.0;
+  d.st_flop_rate = 80.0;
+  return d;
+}
+
+DeviceProfile device_multicore() {
+  DeviceProfile d;
+  d.name = "multicore";
+  d.num_cus = 32;            // cores
+  d.max_group_size = 16;     // AVX-512 f32 lanes
+  d.default_group_size = 16;
+  d.local_mem_bytes = 1024 * 1024;  // per-core L2 slice as "scratchpad"
+  d.flop_rate = 2.0e6;       // 2 Tflop/s SP across the socket
+  d.gmem_bw = 200e3;         // 200 GB/s DRAM
+  d.lmem_bw = 4.0e6;         // aggregate L2 bandwidth
+  d.launch_overhead_us = 1.0;  // a parallel-for dispatch, not a kernel
+  d.saturation_threads = 32 * 16;  // cores x lanes = 512
+  d.tile_size = 8;
+  d.st_gmem_rate = 4000.0;   // one core streams ~4 GB/s
+  d.st_lmem_rate = 16000.0;
+  d.st_flop_rate = 60000.0;  // one core ~60 Gflop/s with SIMD+ILP
+  return d;
+}
+
+}  // namespace incflat

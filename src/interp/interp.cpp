@@ -1,0 +1,380 @@
+#include "src/interp/interp.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/support/error.h"
+
+namespace incflat {
+
+namespace {
+
+Value bin_scalar(const std::string& op, const Value& a, const Value& b) {
+  const Scalar tag = a.tag();
+  if (scalar_is_float(tag)) {
+    const double x = a.as_float(), y = b.as_float();
+    if (op == "+") return Value::scalar_float(tag, x + y);
+    if (op == "-") return Value::scalar_float(tag, x - y);
+    if (op == "*") return Value::scalar_float(tag, x * y);
+    if (op == "/") return Value::scalar_float(tag, x / y);
+    if (op == "min") return Value::scalar_float(tag, std::min(x, y));
+    if (op == "max") return Value::scalar_float(tag, std::max(x, y));
+    if (op == "pow") return Value::scalar_float(tag, std::pow(x, y));
+    if (op == "<") return Value::scalar_bool(x < y);
+    if (op == "<=") return Value::scalar_bool(x <= y);
+    if (op == "==") return Value::scalar_bool(x == y);
+  } else if (tag == Scalar::Bool) {
+    const bool x = a.as_bool(), y = b.as_bool();
+    if (op == "&&") return Value::scalar_bool(x && y);
+    if (op == "||") return Value::scalar_bool(x || y);
+    if (op == "==") return Value::scalar_bool(x == y);
+  } else {
+    const int64_t x = a.as_int(), y = b.as_int();
+    if (op == "+") return Value::scalar_int(tag, x + y);
+    if (op == "-") return Value::scalar_int(tag, x - y);
+    if (op == "*") return Value::scalar_int(tag, x * y);
+    if (op == "/") {
+      if (y == 0) throw EvalError("integer division by zero");
+      return Value::scalar_int(tag, x / y);
+    }
+    if (op == "%") {
+      if (y == 0) throw EvalError("integer modulo by zero");
+      return Value::scalar_int(tag, x % y);
+    }
+    if (op == "min") return Value::scalar_int(tag, std::min(x, y));
+    if (op == "max") return Value::scalar_int(tag, std::max(x, y));
+    if (op == "pow") {
+      int64_t r = 1;
+      for (int64_t k = 0; k < y; ++k) r *= x;
+      return Value::scalar_int(tag, r);
+    }
+    if (op == "<") return Value::scalar_bool(x < y);
+    if (op == "<=") return Value::scalar_bool(x <= y);
+    if (op == "==") return Value::scalar_bool(x == y);
+  }
+  throw EvalError("bad binop '" + op + "' on " +
+                  std::string(scalar_name(tag)));
+}
+
+Value un_scalar(const std::string& op, const Value& a) {
+  const Scalar tag = a.tag();
+  if (op == "!") return Value::scalar_bool(!a.as_bool());
+  if (op == "i2f") return Value::scalar_float(Scalar::F32, static_cast<double>(a.as_int()));
+  if (op == "i2f64") return Value::scalar_float(Scalar::F64, static_cast<double>(a.as_int()));
+  if (op == "f2i") return Value::scalar_int(Scalar::I64, static_cast<int64_t>(a.as_float()));
+  if (scalar_is_float(tag)) {
+    const double x = a.as_float();
+    if (op == "exp") return Value::scalar_float(tag, std::exp(x));
+    if (op == "log") return Value::scalar_float(tag, std::log(x));
+    if (op == "sqrt") return Value::scalar_float(tag, std::sqrt(x));
+    if (op == "abs") return Value::scalar_float(tag, std::fabs(x));
+    if (op == "neg") return Value::scalar_float(tag, -x);
+  } else {
+    const int64_t x = a.as_int();
+    if (op == "abs") return Value::scalar_int(tag, std::llabs(x));
+    if (op == "neg") return Value::scalar_int(tag, -x);
+  }
+  throw EvalError("bad unop '" + op + "'");
+}
+
+struct Evaluator {
+  const InterpCtx& ctx;
+
+  Value eval1(const ExprP& e, const Env& env) {
+    Values vs = eval_multi(e, env);
+    if (vs.size() != 1) throw EvalError("expected single result");
+    return std::move(vs[0]);
+  }
+
+  Values eval_list1(const std::vector<ExprP>& es, const Env& env) {
+    Values out;
+    out.reserve(es.size());
+    for (const auto& e : es) out.push_back(eval1(e, env));
+    return out;
+  }
+
+  /// Apply a lambda to argument values.
+  Values apply(const Lambda& f, const Values& args, const Env& env) {
+    if (f.params.size() != args.size()) {
+      throw EvalError("lambda arity mismatch at runtime");
+    }
+    Env env2 = env;
+    for (size_t i = 0; i < args.size(); ++i) env2[f.params[i].name] = args[i];
+    return eval_multi(f.body, env2);
+  }
+
+  Values eval_multi(const ExprP& e, const Env& env) {
+    if (!e) throw EvalError("null expression");
+
+    if (auto* v = e->as<VarE>()) {
+      auto it = env.find(v->name);
+      if (it == env.end()) throw EvalError("unbound variable " + v->name);
+      return {it->second};
+    }
+    if (auto* c = e->as<ConstE>()) {
+      if (scalar_is_float(c->tag)) return {Value::scalar_float(c->tag, c->f)};
+      return {Value::scalar_int(c->tag, c->i)};
+    }
+    if (auto* b = e->as<BinOpE>()) {
+      return {bin_scalar(b->op, eval1(b->lhs, env), eval1(b->rhs, env))};
+    }
+    if (auto* u = e->as<UnOpE>()) {
+      return {un_scalar(u->op, eval1(u->e, env))};
+    }
+    if (auto* i = e->as<IfE>()) {
+      return eval_multi(eval1(i->cond, env).as_bool() ? i->then_e : i->else_e,
+                        env);
+    }
+    if (auto* l = e->as<LetE>()) {
+      Values rhs = eval_multi(l->rhs, env);
+      if (rhs.size() != l->vars.size()) {
+        throw EvalError("let arity mismatch at runtime");
+      }
+      Env env2 = env;
+      for (size_t k = 0; k < rhs.size(); ++k) {
+        env2[l->vars[k]] = std::move(rhs[k]);
+      }
+      return eval_multi(l->body, env2);
+    }
+    if (auto* lp = e->as<LoopE>()) {
+      Values state = eval_list1(lp->inits, env);
+      const int64_t n = eval1(lp->count, env).as_int();
+      for (int64_t it = 0; it < n; ++it) {
+        Env env2 = env;
+        for (size_t k = 0; k < lp->params.size(); ++k) {
+          env2[lp->params[k]] = state[k];
+        }
+        env2[lp->ivar] = Value::i64(it);
+        state = eval_multi(lp->body, env2);
+        if (state.size() != lp->params.size()) {
+          throw EvalError("loop body arity mismatch");
+        }
+      }
+      return state;
+    }
+    if (auto* m = e->as<MapE>()) {
+      Values arrays = eval_list1(m->arrays, env);
+      const int64_t n = arrays.at(0).shape().at(0);
+      std::vector<Values> per_iter;
+      per_iter.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        Values args;
+        for (const auto& a : arrays) args.push_back(a.row(i));
+        per_iter.push_back(apply(m->f, args, env));
+      }
+      return stack_results(per_iter, m->f.params.size() ? e : e);
+    }
+    if (auto* r = e->as<ReduceE>()) {
+      Values arrays = eval_list1(r->arrays, env);
+      Values acc = eval_list1(r->neutral, env);
+      const int64_t n = arrays.at(0).shape().at(0);
+      for (int64_t i = 0; i < n; ++i) {
+        Values args = acc;
+        for (const auto& a : arrays) args.push_back(a.row(i));
+        acc = apply(r->op, args, env);
+      }
+      return acc;
+    }
+    if (auto* s = e->as<ScanE>()) {
+      Values arrays = eval_list1(s->arrays, env);
+      Values acc = eval_list1(s->neutral, env);
+      const int64_t n = arrays.at(0).shape().at(0);
+      std::vector<Values> out;
+      for (int64_t i = 0; i < n; ++i) {
+        Values args = acc;
+        for (const auto& a : arrays) args.push_back(a.row(i));
+        acc = apply(s->op, args, env);
+        out.push_back(acc);
+      }
+      return stack_results(out, e);
+    }
+    if (auto* rm = e->as<RedomapE>()) {
+      Values arrays = eval_list1(rm->arrays, env);
+      Values acc = eval_list1(rm->neutral, env);
+      const int64_t n = arrays.at(0).shape().at(0);
+      for (int64_t i = 0; i < n; ++i) {
+        Values elem_args;
+        for (const auto& a : arrays) elem_args.push_back(a.row(i));
+        Values mapped = apply(rm->mapf, elem_args, env);
+        Values args = acc;
+        args.insert(args.end(), mapped.begin(), mapped.end());
+        acc = apply(rm->red, args, env);
+      }
+      return acc;
+    }
+    if (auto* sm = e->as<ScanomapE>()) {
+      Values arrays = eval_list1(sm->arrays, env);
+      Values acc = eval_list1(sm->neutral, env);
+      const int64_t n = arrays.at(0).shape().at(0);
+      std::vector<Values> out;
+      for (int64_t i = 0; i < n; ++i) {
+        Values elem_args;
+        for (const auto& a : arrays) elem_args.push_back(a.row(i));
+        Values mapped = apply(sm->mapf, elem_args, env);
+        Values args = acc;
+        args.insert(args.end(), mapped.begin(), mapped.end());
+        acc = apply(sm->red, args, env);
+        out.push_back(acc);
+      }
+      return stack_results(out, e);
+    }
+    if (auto* rp = e->as<ReplicateE>()) {
+      Value elem = eval1(rp->elem, env);
+      const int64_t n = rp->count.eval(ctx.sizes);
+      std::vector<Value> rows(static_cast<size_t>(n), elem);
+      return {Value::stack(rows)};
+    }
+    if (auto* ra = e->as<RearrangeE>()) {
+      return {eval1(ra->e, env).rearrange(ra->perm)};
+    }
+    if (auto* io = e->as<IotaE>()) {
+      const int64_t n = io->count.eval(ctx.sizes);
+      Value out = Value::zeros(Scalar::I64, {n});
+      for (int64_t i = 0; i < n; ++i) out.iset(i, i);
+      return {out};
+    }
+    if (auto* ix = e->as<IndexE>()) {
+      Value arr = eval1(ix->arr, env);
+      std::vector<int64_t> idxs;
+      for (const auto& i : ix->idxs) idxs.push_back(eval1(i, env).as_int());
+      return {arr.index(idxs)};
+    }
+    if (auto* t = e->as<TupleE>()) {
+      Values out;
+      for (const auto& x : t->elems) {
+        Values vs = eval_multi(x, env);
+        out.insert(out.end(), vs.begin(), vs.end());
+      }
+      return out;
+    }
+    if (auto* so = e->as<SegOpE>()) {
+      return eval_segop(*so, env);
+    }
+    if (auto* tc = e->as<ThresholdCmpE>()) {
+      const int64_t par = tc->par.eval(ctx.sizes);
+      const bool fits = tc->fit.alts.empty() ||
+                        tc->fit.eval(ctx.sizes) <= ctx.max_group_size;
+      return {Value::scalar_bool(par >= ctx.thresholds.get(tc->threshold) &&
+                                 fits)};
+    }
+    throw EvalError("interp: unhandled node");
+  }
+
+  // Stack the per-iteration multi-results into per-result arrays.
+  Values stack_results(const std::vector<Values>& per_iter, const ExprP&) {
+    if (per_iter.empty()) throw EvalError("SOAC over empty array");
+    const size_t k = per_iter[0].size();
+    Values out;
+    for (size_t r = 0; r < k; ++r) {
+      std::vector<Value> rows;
+      rows.reserve(per_iter.size());
+      for (const auto& vs : per_iter) rows.push_back(vs[r]);
+      out.push_back(Value::stack(rows));
+    }
+    return out;
+  }
+
+  // Execute a seg-op as nested loops over its space.
+  Values eval_segop(const SegOpE& so, const Env& env) {
+    // Recursive walk over space levels; at the innermost level run map /
+    // redomap / scanomap semantics along that dimension.
+    std::function<Values(size_t, const Env&)> run_level =
+        [&](size_t lvl, const Env& env2) -> Values {
+      const SegBind& bind = so.space[lvl];
+      const bool innermost = lvl + 1 == so.space.size();
+      // Fetch the arrays bound at this level.
+      Values arrays;
+      for (const auto& a : bind.arrays) {
+        auto it = env2.find(a);
+        if (it == env2.end()) throw EvalError("seg-space array unbound: " + a);
+        arrays.push_back(it->second);
+      }
+      const int64_t n = bind.dim.eval(ctx.sizes);
+      if (!arrays.empty() && arrays[0].shape().at(0) != n) {
+        throw EvalError("seg-space dim mismatch at runtime");
+      }
+      if (!innermost) {
+        std::vector<Values> per_iter;
+        for (int64_t i = 0; i < n; ++i) {
+          Env env3 = env2;
+          for (size_t k = 0; k < bind.params.size(); ++k) {
+            env3[bind.params[k]] = arrays[k].row(i);
+          }
+          per_iter.push_back(run_level(lvl + 1, env3));
+        }
+        return stack_results(per_iter, nullptr);
+      }
+      // Innermost level: apply op semantics along this dimension.
+      if (so.op == SegOpE::Op::Map) {
+        std::vector<Values> per_iter;
+        for (int64_t i = 0; i < n; ++i) {
+          Env env3 = env2;
+          for (size_t k = 0; k < bind.params.size(); ++k) {
+            env3[bind.params[k]] = arrays[k].row(i);
+          }
+          per_iter.push_back(eval_multi(so.body, env3));
+        }
+        return stack_results(per_iter, nullptr);
+      }
+      // Red / Scan: fold the body results with the combine operator.
+      Values acc = eval_list1(so.neutral, env);
+      std::vector<Values> scanned;
+      for (int64_t i = 0; i < n; ++i) {
+        Env env3 = env2;
+        for (size_t k = 0; k < bind.params.size(); ++k) {
+          env3[bind.params[k]] = arrays[k].row(i);
+        }
+        Values mapped = eval_multi(so.body, env3);
+        Values args = acc;
+        args.insert(args.end(), mapped.begin(), mapped.end());
+        acc = apply(so.combine, args, env3);
+        if (so.op == SegOpE::Op::Scan) scanned.push_back(acc);
+      }
+      if (so.op == SegOpE::Op::Red) return acc;
+      return stack_results(scanned, nullptr);
+    };
+    return run_level(0, env);
+  }
+};
+
+}  // namespace
+
+Values eval(const InterpCtx& ctx, const ExprP& e, const Env& env) {
+  Evaluator ev{ctx};
+  return ev.eval_multi(e, env);
+}
+
+void check_inputs(const InterpCtx& ctx, const Program& p,
+                  const std::vector<Value>& inputs) {
+  if (inputs.size() != p.inputs.size()) {
+    throw EvalError("program " + p.name + " expects " +
+                    std::to_string(p.inputs.size()) + " inputs, got " +
+                    std::to_string(inputs.size()));
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Type& t = p.inputs[i].type;
+    if (inputs[i].rank() != t.rank()) {
+      throw EvalError("input " + p.inputs[i].name + " rank mismatch");
+    }
+    for (int d = 0; d < t.rank(); ++d) {
+      const int64_t want = t.shape[static_cast<size_t>(d)].eval(ctx.sizes);
+      if (inputs[i].shape()[static_cast<size_t>(d)] != want) {
+        throw EvalError("input " + p.inputs[i].name + " dim " +
+                        std::to_string(d) + " mismatch");
+      }
+    }
+  }
+}
+
+Values run_program(const InterpCtx& ctx, const Program& p,
+                   const std::vector<Value>& inputs) {
+  check_inputs(ctx, p, inputs);
+  Env env;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    env[p.inputs[i].name] = inputs[i];
+  }
+  for (const auto& [name, sz] : ctx.sizes) env[name] = Value::i64(sz);
+  return eval(ctx, p.body, env);
+}
+
+}  // namespace incflat

@@ -1,0 +1,48 @@
+// Reference interpreter for both the source language (parallel SOACs with
+// sequential semantics) and the target language (seg-ops executed as nested
+// loops).  Every flattened program must compute exactly the same values as
+// its source under this interpreter — the central semantics-preservation
+// property of the paper, which we test extensively.
+#pragma once
+
+#include "src/interp/value.h"
+#include "src/ir/expr.h"
+
+namespace incflat {
+
+/// Threshold parameter assignment used to resolve guard predicates
+/// (ThresholdCmp).  Missing entries default to `default_threshold`.
+struct ThresholdEnv {
+  std::map<std::string, int64_t> values;
+  int64_t default_threshold = 1 << 15;  // paper Sec 4.2 default: 2^15
+
+  int64_t get(const std::string& name) const {
+    auto it = values.find(name);
+    return it == values.end() ? default_threshold : it->second;
+  }
+};
+
+/// Interpreter context: dataset sizes (for Par(...) predicates and symbolic
+/// dims), the threshold assignment, and the simulated device's workgroup
+/// limit (used by intra-group guard feasibility checks; semantics do not
+/// depend on it — every guard arm computes the same values).
+struct InterpCtx {
+  SizeEnv sizes;
+  ThresholdEnv thresholds;
+  int64_t max_group_size = int64_t{1} << 30;
+};
+
+/// Evaluate an expression; returns one Value per result.
+Values eval(const InterpCtx& ctx, const ExprP& e, const Env& env);
+
+/// Run a whole program on the given inputs (by input order).  Size variables
+/// are derived from the SizeEnv and also bound as i64 scalars.
+Values run_program(const InterpCtx& ctx, const Program& p,
+                   const std::vector<Value>& inputs);
+
+/// Validate that `inputs` conform to the program's declared input types
+/// under ctx.sizes; throws EvalError otherwise.
+void check_inputs(const InterpCtx& ctx, const Program& p,
+                  const std::vector<Value>& inputs);
+
+}  // namespace incflat

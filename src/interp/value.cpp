@@ -1,0 +1,206 @@
+#include "src/interp/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/support/error.h"
+#include "src/support/str.h"
+
+namespace incflat {
+
+namespace {
+
+int64_t shape_count(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+size_t Value::flat_size() const {
+  return static_cast<size_t>(shape_count(shape_));
+}
+
+Value Value::scalar_int(Scalar tag, int64_t v) {
+  Value out;
+  out.tag_ = tag;
+  out.idata_ = {v};
+  return out;
+}
+
+Value Value::scalar_float(Scalar tag, double v) {
+  Value out;
+  out.tag_ = tag;
+  out.fdata_ = {v};
+  return out;
+}
+
+Value Value::scalar_bool(bool v) {
+  return scalar_int(Scalar::Bool, v ? 1 : 0);
+}
+
+Value Value::zeros(Scalar tag, std::vector<int64_t> shape) {
+  Value out;
+  out.tag_ = tag;
+  out.shape_ = std::move(shape);
+  const size_t n = out.flat_size();
+  if (scalar_is_float(tag)) {
+    out.fdata_.assign(n, 0.0);
+  } else {
+    out.idata_.assign(n, 0);
+  }
+  return out;
+}
+
+Value Value::stack(const std::vector<Value>& rows) {
+  if (rows.empty()) throw EvalError("stack of zero rows");
+  const Value& first = rows[0];
+  std::vector<int64_t> shape;
+  shape.push_back(static_cast<int64_t>(rows.size()));
+  shape.insert(shape.end(), first.shape_.begin(), first.shape_.end());
+  Value out = zeros(first.tag_, shape);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].shape_ != first.shape_ || rows[i].tag_ != first.tag_) {
+      throw EvalError("stack of irregular rows");
+    }
+    out.set_row(static_cast<int64_t>(i), rows[i]);
+  }
+  return out;
+}
+
+int64_t Value::count() const { return shape_count(shape_); }
+
+int64_t Value::as_int() const {
+  if (!is_scalar()) throw EvalError("as_int on array");
+  return is_float() ? static_cast<int64_t>(fdata_[0]) : idata_[0];
+}
+
+double Value::as_float() const {
+  if (!is_scalar()) throw EvalError("as_float on array");
+  return is_float() ? fdata_[0] : static_cast<double>(idata_[0]);
+}
+
+bool Value::as_bool() const {
+  if (!is_scalar() || tag_ != Scalar::Bool) {
+    throw EvalError("as_bool on non-bool");
+  }
+  return idata_[0] != 0;
+}
+
+Value Value::row(int64_t i) const {
+  if (rank() < 1) throw EvalError("row of scalar");
+  if (i < 0 || i >= shape_[0]) {
+    throw EvalError("row index " + std::to_string(i) + " out of bounds " +
+                    std::to_string(shape_[0]));
+  }
+  Value out;
+  out.tag_ = tag_;
+  out.shape_.assign(shape_.begin() + 1, shape_.end());
+  const int64_t stride = shape_count(out.shape_);
+  if (is_float()) {
+    out.fdata_.assign(fdata_.begin() + i * stride,
+                      fdata_.begin() + (i + 1) * stride);
+  } else {
+    out.idata_.assign(idata_.begin() + i * stride,
+                      idata_.begin() + (i + 1) * stride);
+  }
+  return out;
+}
+
+Value Value::index(const std::vector<int64_t>& idxs) const {
+  Value cur = *this;
+  for (int64_t ix : idxs) cur = cur.row(ix);
+  return cur;
+}
+
+Value Value::rearrange(const std::vector<int>& perm) const {
+  const int r = rank();
+  if (static_cast<int>(perm.size()) != r) {
+    throw EvalError("rearrange rank mismatch");
+  }
+  std::vector<int64_t> new_shape(static_cast<size_t>(r));
+  for (int k = 0; k < r; ++k) {
+    new_shape[static_cast<size_t>(k)] = shape_[static_cast<size_t>(perm[static_cast<size_t>(k)])];
+  }
+  Value out = zeros(tag_, new_shape);
+  // strides of the original array
+  std::vector<int64_t> stride(static_cast<size_t>(r), 1);
+  for (int k = r - 2; k >= 0; --k) {
+    stride[static_cast<size_t>(k)] =
+        stride[static_cast<size_t>(k + 1)] * shape_[static_cast<size_t>(k + 1)];
+  }
+  const int64_t n = count();
+  std::vector<int64_t> idx(static_cast<size_t>(r), 0);  // index in new layout
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t src = 0;
+    for (int k = 0; k < r; ++k) {
+      src += idx[static_cast<size_t>(k)] *
+             stride[static_cast<size_t>(perm[static_cast<size_t>(k)])];
+    }
+    if (is_float()) {
+      out.fdata_[static_cast<size_t>(flat)] = fdata_[static_cast<size_t>(src)];
+    } else {
+      out.idata_[static_cast<size_t>(flat)] = idata_[static_cast<size_t>(src)];
+    }
+    for (int k = r - 1; k >= 0; --k) {
+      if (++idx[static_cast<size_t>(k)] < new_shape[static_cast<size_t>(k)]) break;
+      idx[static_cast<size_t>(k)] = 0;
+    }
+  }
+  return out;
+}
+
+void Value::set_row(int64_t i, const Value& v) {
+  const int64_t stride = v.count();
+  if (is_float()) {
+    std::copy(v.fdata_.begin(), v.fdata_.end(),
+              fdata_.begin() + i * stride);
+  } else {
+    std::copy(v.idata_.begin(), v.idata_.end(),
+              idata_.begin() + i * stride);
+  }
+}
+
+bool Value::approx_equal(const Value& o, double tol) const {
+  if (shape_ != o.shape_) return false;
+  if (is_float() != o.is_float()) return false;
+  if (is_float()) {
+    for (size_t k = 0; k < fdata_.size(); ++k) {
+      const double a = fdata_[k], b = o.fdata_[k];
+      const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+      if (std::fabs(a - b) > tol * scale) return false;
+    }
+    return true;
+  }
+  return idata_ == o.idata_;
+}
+
+std::string Value::str() const {
+  std::ostringstream os;
+  if (is_scalar()) {
+    if (is_float()) {
+      os << fdata_[0];
+    } else if (tag_ == Scalar::Bool) {
+      os << (idata_[0] ? "true" : "false");
+    } else {
+      os << idata_[0];
+    }
+    return os.str();
+  }
+  os << "[";
+  for (int64_t i = 0; i < shape_[0]; ++i) {
+    if (i) os << ", ";
+    if (i > 8) {
+      os << "...";
+      break;
+    }
+    os << row(i).str();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace incflat

@@ -1,0 +1,87 @@
+// Runtime values for the reference interpreter.
+//
+// A Value is a scalar or a dense row-major multidimensional array.  Floats
+// are stored as double and integers/booleans as int64_t regardless of the
+// declared scalar width; the declared Scalar tag is kept so printing and
+// conversions behave as expected.  This interpreter defines the *semantics*
+// against which all compiled (flattened) programs are validated; it is not a
+// performance path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace incflat {
+
+class Value {
+ public:
+  Value() = default;
+
+  static Value scalar_int(Scalar tag, int64_t v);
+  static Value scalar_float(Scalar tag, double v);
+  static Value scalar_bool(bool v);
+  static Value i64(int64_t v) { return scalar_int(Scalar::I64, v); }
+  static Value f32(double v) { return scalar_float(Scalar::F32, v); }
+
+  /// Uninitialised (zero-filled) array of the given concrete shape.
+  static Value zeros(Scalar tag, std::vector<int64_t> shape);
+
+  /// Stack equal-shaped values into an array with a new outer dimension.
+  static Value stack(const std::vector<Value>& rows);
+
+  Scalar tag() const { return tag_; }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  bool is_scalar() const { return shape_.empty(); }
+  int64_t count() const;
+
+  bool is_float() const { return scalar_is_float(tag_); }
+
+  // Scalar accessors (require rank 0).
+  int64_t as_int() const;
+  double as_float() const;
+  bool as_bool() const;
+
+  // Flat element accessors.
+  double fget(int64_t flat) const { return fdata_[static_cast<size_t>(flat)]; }
+  int64_t iget(int64_t flat) const { return idata_[static_cast<size_t>(flat)]; }
+  void fset(int64_t flat, double v) { fdata_[static_cast<size_t>(flat)] = v; }
+  void iset(int64_t flat, int64_t v) { idata_[static_cast<size_t>(flat)] = v; }
+
+  /// Copy of row `i` (drops the outer dimension).  Bounds-checked.
+  Value row(int64_t i) const;
+
+  /// Element / slice after indexing with `idxs` (partial indexing allowed).
+  Value index(const std::vector<int64_t>& idxs) const;
+
+  /// Permute dimensions (rearrange).
+  Value rearrange(const std::vector<int>& perm) const;
+
+  /// Write `v` (of row shape) into row `i` of this array.
+  void set_row(int64_t i, const Value& v);
+
+  /// Structural equality with elementwise float tolerance.
+  bool approx_equal(const Value& o, double tol = 1e-5) const;
+
+  std::string str() const;
+
+ private:
+  Scalar tag_ = Scalar::I64;
+  std::vector<int64_t> shape_;
+  std::vector<double> fdata_;
+  std::vector<int64_t> idata_;
+
+  size_t flat_size() const;
+};
+
+/// Variable environment for the interpreter.
+using Env = std::map<std::string, Value>;
+
+/// Collection of results of a multi-result expression.
+using Values = std::vector<Value>;
+
+}  // namespace incflat

@@ -1,0 +1,112 @@
+#include "src/ir/builder.h"
+
+namespace incflat::ib {
+
+ExprP var(const std::string& name) { return mk(VarE{name}); }
+
+ExprP ci64(int64_t v) { return mk(ConstE{Scalar::I64, v, 0.0}); }
+ExprP ci32(int64_t v) { return mk(ConstE{Scalar::I32, v, 0.0}); }
+ExprP cf32(double v) { return mk(ConstE{Scalar::F32, 0, v}); }
+ExprP cf64(double v) { return mk(ConstE{Scalar::F64, 0, v}); }
+ExprP cbool(bool v) { return mk(ConstE{Scalar::Bool, v ? 1 : 0, 0.0}); }
+
+ExprP bin(const std::string& op, ExprP a, ExprP b) {
+  return mk(BinOpE{op, std::move(a), std::move(b)});
+}
+ExprP add(ExprP a, ExprP b) { return bin("+", std::move(a), std::move(b)); }
+ExprP sub(ExprP a, ExprP b) { return bin("-", std::move(a), std::move(b)); }
+ExprP mul(ExprP a, ExprP b) { return bin("*", std::move(a), std::move(b)); }
+ExprP divide(ExprP a, ExprP b) { return bin("/", std::move(a), std::move(b)); }
+ExprP min_(ExprP a, ExprP b) { return bin("min", std::move(a), std::move(b)); }
+ExprP max_(ExprP a, ExprP b) { return bin("max", std::move(a), std::move(b)); }
+ExprP lt(ExprP a, ExprP b) { return bin("<", std::move(a), std::move(b)); }
+ExprP le(ExprP a, ExprP b) { return bin("<=", std::move(a), std::move(b)); }
+ExprP eq(ExprP a, ExprP b) { return bin("==", std::move(a), std::move(b)); }
+
+ExprP un(const std::string& op, ExprP e) { return mk(UnOpE{op, std::move(e)}); }
+ExprP exp_(ExprP e) { return un("exp", std::move(e)); }
+ExprP sqrt_(ExprP e) { return un("sqrt", std::move(e)); }
+ExprP abs_(ExprP e) { return un("abs", std::move(e)); }
+ExprP neg(ExprP e) { return un("neg", std::move(e)); }
+
+ExprP iff(ExprP c, ExprP t, ExprP f) {
+  return mk(IfE{std::move(c), std::move(t), std::move(f)});
+}
+
+ExprP let1(const std::string& v, ExprP rhs, ExprP body) {
+  return mk(LetE{{v}, std::move(rhs), std::move(body)});
+}
+
+ExprP letn(std::vector<std::string> vs, ExprP rhs, ExprP body) {
+  return mk(LetE{std::move(vs), std::move(rhs), std::move(body)});
+}
+
+ExprP loop(std::vector<std::string> params, std::vector<ExprP> inits,
+           const std::string& ivar, ExprP count, ExprP body) {
+  return mk(LoopE{std::move(params), std::move(inits), ivar, std::move(count),
+                  std::move(body)});
+}
+
+Param p(const std::string& name, Type t) { return Param{name, std::move(t)}; }
+
+Lambda lam(std::vector<Param> params, ExprP body) {
+  return Lambda{std::move(params), std::move(body)};
+}
+
+Lambda binlam(const std::string& op, Scalar t) {
+  return lam({p("_x", Type::scalar(t)), p("_y", Type::scalar(t))},
+             bin(op, var("_x"), var("_y")));
+}
+
+ExprP map(Lambda f, std::vector<ExprP> arrays) {
+  return mk(MapE{std::move(f), std::move(arrays)});
+}
+
+ExprP map1(Lambda f, ExprP array) {
+  return map(std::move(f), {std::move(array)});
+}
+
+ExprP reduce(Lambda op, std::vector<ExprP> neutral,
+             std::vector<ExprP> arrays) {
+  return mk(ReduceE{std::move(op), std::move(neutral), std::move(arrays)});
+}
+
+ExprP scan(Lambda op, std::vector<ExprP> neutral, std::vector<ExprP> arrays) {
+  return mk(ScanE{std::move(op), std::move(neutral), std::move(arrays)});
+}
+
+ExprP redomap(Lambda red, Lambda mapf, std::vector<ExprP> neutral,
+              std::vector<ExprP> arrays) {
+  return mk(RedomapE{std::move(red), std::move(mapf), std::move(neutral),
+                     std::move(arrays)});
+}
+
+ExprP scanomap(Lambda red, Lambda mapf, std::vector<ExprP> neutral,
+               std::vector<ExprP> arrays) {
+  return mk(ScanomapE{std::move(red), std::move(mapf), std::move(neutral),
+                      std::move(arrays)});
+}
+
+ExprP replicate(Dim count, ExprP e) {
+  return mk(ReplicateE{std::move(count), std::move(e)});
+}
+
+ExprP rearrange(std::vector<int> perm, ExprP e) {
+  return mk(RearrangeE{std::move(perm), std::move(e)});
+}
+
+ExprP transpose(ExprP e) { return rearrange({1, 0}, std::move(e)); }
+
+ExprP iota(Dim count) { return mk(IotaE{std::move(count)}); }
+
+ExprP index(ExprP arr, std::vector<ExprP> idxs) {
+  return mk(IndexE{std::move(arr), std::move(idxs)});
+}
+
+ExprP tuple(std::vector<ExprP> elems) { return mk(TupleE{std::move(elems)}); }
+
+std::string NameGen::fresh(const std::string& base) {
+  return base + "_" + std::to_string(++counter_);
+}
+
+}  // namespace incflat::ib

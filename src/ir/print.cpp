@@ -1,0 +1,148 @@
+#include "src/ir/print.h"
+
+#include <sstream>
+
+#include "src/support/error.h"
+#include "src/support/str.h"
+
+namespace incflat {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<size_t>(2 * n), ' '); }
+
+std::string pp(const ExprP& e, int d);
+
+std::string pp_list(const std::vector<ExprP>& es, int d) {
+  return join_map(es, " ", [&](const ExprP& x) { return pp(x, d); });
+}
+
+std::string pp_lambda(const Lambda& l, int d) {
+  std::ostringstream os;
+  os << "(\\"
+     << join_map(l.params, " ",
+                 [](const Param& p) { return p.name; })
+     << " -> " << pp(l.body, d) << ")";
+  return os.str();
+}
+
+std::string pp_space(const SegSpace& space) {
+  return join_map(space, " ", [](const SegBind& b) {
+    return "<" + join(b.params, " ") + " in " + join(b.arrays, " ") + ">";
+  });
+}
+
+std::string pp(const ExprP& e, int d) {
+  if (!e) return "<null>";
+  if (auto* v = e->as<VarE>()) return v->name;
+  if (auto* c = e->as<ConstE>()) {
+    switch (c->tag) {
+      case Scalar::Bool: return c->i ? "true" : "false";
+      case Scalar::I32: return std::to_string(c->i) + "i32";
+      case Scalar::I64: return std::to_string(c->i);
+      case Scalar::F32: return fmt_double(c->f, 4) + "f32";
+      case Scalar::F64: return fmt_double(c->f, 4) + "f64";
+    }
+  }
+  if (auto* b = e->as<BinOpE>()) {
+    return "(" + pp(b->lhs, d) + " " + b->op + " " + pp(b->rhs, d) + ")";
+  }
+  if (auto* u = e->as<UnOpE>()) return u->op + "(" + pp(u->e, d) + ")";
+  if (auto* i = e->as<IfE>()) {
+    std::ostringstream os;
+    os << "if " << pp(i->cond, d) << "\n"
+       << ind(d + 1) << "then " << pp(i->then_e, d + 1) << "\n"
+       << ind(d + 1) << "else " << pp(i->else_e, d + 1);
+    return os.str();
+  }
+  if (auto* l = e->as<LetE>()) {
+    std::ostringstream os;
+    os << "let " << join(l->vars, " ") << " = " << pp(l->rhs, d + 1) << "\n"
+       << ind(d) << "in " << pp(l->body, d);
+    return os.str();
+  }
+  if (auto* lp = e->as<LoopE>()) {
+    std::ostringstream os;
+    os << "loop " << join(lp->params, " ") << " = "
+       << pp_list(lp->inits, d) << " for " << lp->ivar << " < "
+       << pp(lp->count, d) << " do\n"
+       << ind(d + 1) << pp(lp->body, d + 1);
+    return os.str();
+  }
+  if (auto* m = e->as<MapE>()) {
+    return "map " + pp_lambda(m->f, d) + " " + pp_list(m->arrays, d);
+  }
+  if (auto* r = e->as<ReduceE>()) {
+    return "reduce " + pp_lambda(r->op, d) + " (" + pp_list(r->neutral, d) +
+           ") " + pp_list(r->arrays, d);
+  }
+  if (auto* s = e->as<ScanE>()) {
+    return "scan " + pp_lambda(s->op, d) + " (" + pp_list(s->neutral, d) +
+           ") " + pp_list(s->arrays, d);
+  }
+  if (auto* rm = e->as<RedomapE>()) {
+    return "redomap " + pp_lambda(rm->red, d) + " " + pp_lambda(rm->mapf, d) +
+           " (" + pp_list(rm->neutral, d) + ") " + pp_list(rm->arrays, d);
+  }
+  if (auto* sm = e->as<ScanomapE>()) {
+    return "scanomap " + pp_lambda(sm->red, d) + " " +
+           pp_lambda(sm->mapf, d) + " (" + pp_list(sm->neutral, d) + ") " +
+           pp_list(sm->arrays, d);
+  }
+  if (auto* rp = e->as<ReplicateE>()) {
+    return "replicate " + rp->count.str() + " " + pp(rp->elem, d);
+  }
+  if (auto* ra = e->as<RearrangeE>()) {
+    return "rearrange (" +
+           join_map(ra->perm, ",", [](int k) { return std::to_string(k); }) +
+           ") " + pp(ra->e, d);
+  }
+  if (auto* io = e->as<IotaE>()) return "iota " + io->count.str();
+  if (auto* ix = e->as<IndexE>()) {
+    return pp(ix->arr, d) + "[" +
+           join_map(ix->idxs, ",",
+                    [&](const ExprP& x) { return pp(x, d); }) +
+           "]";
+  }
+  if (auto* t = e->as<TupleE>()) {
+    return "(" +
+           join_map(t->elems, ", ",
+                    [&](const ExprP& x) { return pp(x, d); }) +
+           ")";
+  }
+  if (auto* so = e->as<SegOpE>()) {
+    std::ostringstream os;
+    const char* nm = so->op == SegOpE::Op::Map   ? "segmap"
+                     : so->op == SegOpE::Op::Red ? "segred"
+                                                 : "segscan";
+    os << nm << "^" << so->level;
+    if (so->block_tiled) os << "[tiled]";
+    os << " " << pp_space(so->space) << " ";
+    if (so->op != SegOpE::Op::Map) {
+      os << pp_lambda(so->combine, d) << " (" << pp_list(so->neutral, d)
+         << ") ";
+    }
+    os << "(\n" << ind(d + 1) << pp(so->body, d + 1) << ")";
+    return os.str();
+  }
+  if (auto* tc = e->as<ThresholdCmpE>()) {
+    return tc->par.str() + " >= " + tc->threshold;
+  }
+  INCFLAT_FAIL("pretty: unhandled node");
+}
+
+}  // namespace
+
+std::string pretty(const ExprP& e, int indent) { return pp(e, indent); }
+
+std::string pretty(const Program& p) {
+  std::ostringstream os;
+  os << "def " << p.name << " ";
+  for (const auto& in : p.inputs) {
+    os << "(" << in.name << ": " << in.type.str() << ") ";
+  }
+  os << "=\n  " << pp(p.body, 1) << "\n";
+  return os.str();
+}
+
+}  // namespace incflat

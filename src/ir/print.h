@@ -1,0 +1,17 @@
+// Pretty-printer producing Futhark-like concrete syntax for both languages.
+// Used for golden tests, debugging, and the code-size ablation report.
+#pragma once
+
+#include <string>
+
+#include "src/ir/expr.h"
+
+namespace incflat {
+
+/// Render an expression; `indent` is the starting indentation depth.
+std::string pretty(const ExprP& e, int indent = 0);
+
+/// Render a whole program with its input signature.
+std::string pretty(const Program& p);
+
+}  // namespace incflat

@@ -1,0 +1,54 @@
+// Symbolic size algebra for degree-of-parallelism expressions.
+//
+// Rule G3 guards code versions with predicates `Par(Σ') >= t_top` and
+// `Par(e_middle) >= t_intra` (paper Sec. 3.2).  Par(...) is a symbolic
+// expression over dataset-dependent dimensions.  A SizeProd is a product of
+// dimensions; a SizeExpr is the maximum over several products (needed for
+// Par(e) of a body whose branches expose different inner parallelism).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace incflat {
+
+/// Product of symbolic dimensions; the constant factors are folded eagerly.
+struct SizeProd {
+  int64_t konst = 1;
+  std::vector<Dim> vars;  // only Kind::Var dims
+
+  static SizeProd one() { return SizeProd{}; }
+  static SizeProd of(const Dim& d);
+
+  SizeProd& operator*=(const Dim& d);
+  SizeProd& operator*=(const SizeProd& o);
+
+  int64_t eval(const SizeEnv& env) const;
+  bool is_one() const { return konst == 1 && vars.empty(); }
+  std::string str() const;
+  bool operator==(const SizeProd& o) const;
+};
+
+/// max over a set of products (empty set denotes the degenerate size 1).
+struct SizeExpr {
+  std::vector<SizeProd> alts;
+
+  static SizeExpr one();
+  static SizeExpr of(const SizeProd& p);
+  static SizeExpr of(const Dim& d);
+
+  /// Pointwise product: (max_i a_i) * p  ==  max_i (a_i * p).
+  SizeExpr times(const SizeProd& p) const;
+
+  /// Maximum of two size expressions.
+  SizeExpr max_with(const SizeExpr& o) const;
+
+  int64_t eval(const SizeEnv& env) const;
+  std::string str() const;
+  bool operator==(const SizeExpr& o) const;
+};
+
+}  // namespace incflat

@@ -1,0 +1,31 @@
+// Type checker for the source and target languages.
+//
+// Checking is also *annotation*: because Expr is immutable, the checker
+// rebuilds the tree with every node's `types` field filled in.  The
+// flattening pass requires annotated input (it reads array dims off types),
+// and the type-preservation property test re-checks flattened output.
+//
+// The target-language level discipline (paper Sec. 2.1) is enforced by
+// check_level_discipline: a construct at level 0 contains only sequential
+// code, and a construct at level l >= 1 directly contains only constructs at
+// level l-1.
+#pragma once
+
+#include "src/ir/expr.h"
+
+namespace incflat {
+
+/// Type-check and annotate an expression under `env`.  Throws CompilerError
+/// with a descriptive message on ill-typed input.
+ExprP typecheck_expr(const ExprP& e, const TypeEnv& env);
+
+/// Type-check and annotate a whole program (inputs seed the environment;
+/// size parameters are bound as i64 scalars).
+Program typecheck_program(Program p);
+
+/// Verify the target-language level constraint; `ambient_level` is the level
+/// of the innermost enclosing parallel construct (-1 at host level... the
+/// host may contain any level).  Throws CompilerError on violation.
+void check_level_discipline(const ExprP& e);
+
+}  // namespace incflat

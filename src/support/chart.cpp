@@ -1,0 +1,60 @@
+#include "src/support/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace incflat {
+
+void print_log_chart(std::ostream& os, const std::vector<ChartSeries>& series,
+                     int x0, int height, const std::string& ylabel) {
+  if (series.empty() || series[0].ys.empty()) return;
+  const size_t n = series[0].ys.size();
+
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : series) {
+    for (double y : s.ys) {
+      if (y > 0) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+    }
+  }
+  if (hi <= lo) hi = lo * 10;
+  const double llo = std::log10(lo), lhi = std::log10(hi);
+
+  // grid[row][col]; row 0 is the top.
+  const int width = static_cast<int>(n);
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width) * 4, ' '));
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.ys.size() && i < n; ++i) {
+      if (s.ys[i] <= 0) continue;
+      const double frac = (std::log10(s.ys[i]) - llo) / (lhi - llo);
+      int row = height - 1 -
+                static_cast<int>(std::round(frac * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<size_t>(row)][i * 4 + 1] = s.glyph;
+    }
+  }
+
+  for (int r = 0; r < height; ++r) {
+    const double frac =
+        static_cast<double>(height - 1 - r) / (height - 1);
+    const double y = std::pow(10.0, llo + frac * (lhi - llo));
+    os << std::setw(10) << std::setprecision(3) << std::scientific << y
+       << " |" << grid[static_cast<size_t>(r)] << "\n";
+  }
+  os << std::setw(10) << ylabel << " +" << std::string(static_cast<size_t>(width) * 4, '-')
+     << "\n" << std::setw(12) << ' ';
+  for (int i = 0; i < width; ++i) {
+    os << std::setw(3) << (x0 + i) << ' ';
+  }
+  os << "\n  legend: ";
+  for (const auto& s : series) {
+    os << s.glyph << "=" << s.name << "  ";
+  }
+  os << "\n" << std::defaultfloat;
+}
+
+}  // namespace incflat

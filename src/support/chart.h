@@ -1,0 +1,27 @@
+// ASCII line chart on a log-10 y-axis.
+//
+// The paper's artifact renders its figures as PDFs; the bench binaries here
+// render the same series as terminal charts so the curve *shapes* (the
+// reproduction contract) are visible directly in the harness output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incflat {
+
+/// One named series of y-values over a shared integer x-axis.
+struct ChartSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> ys;
+};
+
+/// Render `series` (equal lengths) over x = x0, x0+1, ... with a log-10
+/// y-axis of `height` rows.  Overlapping points print the later glyph.
+void print_log_chart(std::ostream& os, const std::vector<ChartSeries>& series,
+                     int x0 = 0, int height = 18,
+                     const std::string& ylabel = "us");
+
+}  // namespace incflat

@@ -1,0 +1,50 @@
+// Error handling utilities for the incremental-flattening compiler.
+//
+// Compiler passes signal malformed input or internal invariant violations via
+// CompilerError; CHECK-style macros make the invariant sites terse without
+// hiding the message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace incflat {
+
+/// Thrown by compiler passes on malformed input programs (type errors,
+/// ill-formed nests) and on violated internal invariants.
+class CompilerError : public std::runtime_error {
+ public:
+  explicit CompilerError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Thrown by the interpreter/executor on runtime failures (shape mismatch,
+/// out-of-bounds index, infeasible kernel configuration).
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_compiler_error(const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw CompilerError(os.str());
+}
+}  // namespace detail
+
+/// Abort the current pass with a CompilerError carrying source location.
+#define INCFLAT_FAIL(msg) \
+  ::incflat::detail::throw_compiler_error(__FILE__, __LINE__, (msg))
+
+/// Internal invariant check; failure indicates a bug in a pass, not in the
+/// user program.
+#define INCFLAT_CHECK(cond, msg)  \
+  do {                            \
+    if (!(cond)) {                \
+      INCFLAT_FAIL(std::string("internal invariant failed: ") + (msg)); \
+    }                             \
+  } while (0)
+
+}  // namespace incflat

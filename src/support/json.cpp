@@ -1,0 +1,101 @@
+#include "src/support/json.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace incflat {
+
+Json& Json::push(Json v) {
+  if (!std::holds_alternative<Arr>(node_)) {
+    throw std::logic_error("Json::push on non-array");
+  }
+  std::get<Arr>(node_).items.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (!std::holds_alternative<Obj>(node_)) {
+    throw std::logic_error("Json::set on non-object");
+  }
+  auto& fields = std::get<Obj>(node_).fields;
+  for (auto& [k, old] : fields) {
+    if (k == key) {
+      old = std::move(v);
+      return *this;
+    }
+  }
+  fields.emplace_back(key, std::move(v));
+  return *this;
+}
+
+void Json::write_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+void Json::write(std::ostringstream& os, int indent, int depth) const {
+  const std::string nl = indent < 0 ? "" : "\n";
+  const std::string pad =
+      indent < 0 ? "" : std::string(static_cast<size_t>(indent * (depth + 1)), ' ');
+  const std::string pad_end =
+      indent < 0 ? "" : std::string(static_cast<size_t>(indent * depth), ' ');
+
+  if (std::holds_alternative<std::nullptr_t>(node_)) {
+    os << "null";
+  } else if (auto* b = std::get_if<bool>(&node_)) {
+    os << (*b ? "true" : "false");
+  } else if (auto* d = std::get_if<double>(&node_)) {
+    if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
+      os << static_cast<int64_t>(*d);
+    } else {
+      os << *d;
+    }
+  } else if (auto* s = std::get_if<std::string>(&node_)) {
+    write_string(os, *s);
+  } else if (auto* a = std::get_if<Arr>(&node_)) {
+    if (a->items.empty()) {
+      os << "[]";
+      return;
+    }
+    os << "[" << nl;
+    for (size_t i = 0; i < a->items.size(); ++i) {
+      os << pad;
+      a->items[i].write(os, indent, depth + 1);
+      if (i + 1 < a->items.size()) os << ",";
+      os << nl;
+    }
+    os << pad_end << "]";
+  } else if (auto* o = std::get_if<Obj>(&node_)) {
+    if (o->fields.empty()) {
+      os << "{}";
+      return;
+    }
+    os << "{" << nl;
+    for (size_t i = 0; i < o->fields.size(); ++i) {
+      os << pad;
+      write_string(os, o->fields[i].first);
+      os << (indent < 0 ? ":" : ": ");
+      o->fields[i].second.write(os, indent, depth + 1);
+      if (i + 1 < o->fields.size()) os << ",";
+      os << nl;
+    }
+    os << pad_end << "}";
+  }
+}
+
+std::string Json::str(int indent) const {
+  std::ostringstream os;
+  write(os, indent, 0);
+  return os.str();
+}
+
+}  // namespace incflat

@@ -1,0 +1,62 @@
+// Minimal JSON writer.
+//
+// The paper's artifact emits "raw measurement data in a simple JSON format";
+// the benchmark binaries use this writer to do the same (results/*.json).
+// Writing only — the tuning-file reader uses its own line format.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace incflat {
+
+/// A JSON value: null, bool, number, string, array, or object.  Objects
+/// preserve insertion order (stable, diffable output).
+class Json {
+ public:
+  Json() : node_(nullptr) {}
+  Json(bool b) : node_(b) {}                                   // NOLINT
+  Json(double d) : node_(d) {}                                 // NOLINT
+  Json(int64_t i) : node_(static_cast<double>(i)) {}           // NOLINT
+  Json(int i) : node_(static_cast<double>(i)) {}               // NOLINT
+  Json(size_t i) : node_(static_cast<double>(i)) {}            // NOLINT
+  Json(const char* s) : node_(std::string(s)) {}               // NOLINT
+  Json(std::string s) : node_(std::move(s)) {}                 // NOLINT
+
+  static Json array() {
+    Json j;
+    j.node_ = Arr{};
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.node_ = Obj{};
+    return j;
+  }
+
+  /// Append to an array value.
+  Json& push(Json v);
+
+  /// Set a key of an object value (inserting or overwriting).
+  Json& set(const std::string& key, Json v);
+
+  /// Serialise; `indent` < 0 gives compact output.
+  std::string str(int indent = 2) const;
+
+ private:
+  struct Arr {
+    std::vector<Json> items;
+  };
+  struct Obj {
+    std::vector<std::pair<std::string, Json>> fields;
+  };
+  std::variant<std::nullptr_t, bool, double, std::string, Arr, Obj> node_;
+
+  void write(std::ostringstream& os, int indent, int depth) const;
+  static void write_string(std::ostringstream& os, const std::string& s);
+};
+
+}  // namespace incflat

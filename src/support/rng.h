@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (autotuner search, dataset generators, property
+// tests) draw from this splitmix64-based generator so that every run of the
+// test suite and the benchmark harness is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace incflat {
+
+/// Small, fast, deterministic RNG (splitmix64). Not cryptographic; used for
+/// reproducible workload generation and stochastic search.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  /// Bernoulli trial with probability p of true.
+  bool flip(double p = 0.5) { return uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace incflat

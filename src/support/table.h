@@ -1,0 +1,35 @@
+// Aligned plain-text table printer used by the benchmark harness to emit the
+// rows/series of the paper's tables and figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incflat {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+///
+/// Example:
+///   Table t({"benchmark", "dataset", "speedup"});
+///   t.row({"Heston", "D1", "2.13"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Number of data rows appended so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Print the table with a header rule, columns padded to content width.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace incflat

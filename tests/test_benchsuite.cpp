@@ -1,0 +1,107 @@
+// Integration tests over the whole benchmark suite: every paper program
+// must (1) match its independent golden C++ implementation under the
+// reference interpreter, and (2) keep its semantics through all three
+// flattening modes under arbitrary threshold assignments and workgroup
+// limits — the paper's central correctness property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/flatten/flatten.h"
+#include "src/interp/interp.h"
+#include "src/ir/traverse.h"
+#include "src/ir/print.h"
+#include "src/ir/typecheck.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+class BenchSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  Benchmark bench() const { return get_benchmark(GetParam()); }
+};
+
+TEST_P(BenchSuite, GoldenMatchesInterpreter) {
+  Benchmark b = bench();
+  ASSERT_TRUE(b.gen_inputs);
+  if (!b.golden) GTEST_SKIP() << "no golden for " << b.name;
+  Rng rng(7);
+  std::vector<Value> inputs = b.gen_inputs(rng, b.test_sizes);
+  InterpCtx ctx;
+  ctx.sizes = b.test_sizes;
+  Values got = run_program(ctx, b.program, inputs);
+  Values want = b.golden(b.test_sizes, inputs);
+  ASSERT_EQ(got.size(), want.size()) << b.name;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].approx_equal(want[i], 1e-4))
+        << b.name << " result " << i << "\n got: " << got[i].str()
+        << "\nwant: " << want[i].str();
+  }
+}
+
+TEST_P(BenchSuite, FlatteningPreservesSemantics) {
+  Benchmark b = bench();
+  Rng rng(13);
+  std::vector<Value> inputs = b.gen_inputs(rng, b.test_sizes);
+  InterpCtx sctx;
+  sctx.sizes = b.test_sizes;
+  Values want = run_program(sctx, b.program, inputs);
+
+  for (FlattenMode mode : {FlattenMode::Moderate, FlattenMode::Incremental,
+                           FlattenMode::Full}) {
+    FlattenResult fr = flatten(b.program, mode);
+    ASSERT_NO_THROW(check_level_discipline(fr.program.body))
+        << b.name << " " << mode_name(mode);
+    for (int64_t t : {int64_t{1}, int64_t{4}, int64_t{1} << 15}) {
+      for (int64_t group : {int64_t{2}, int64_t{1} << 30}) {
+        InterpCtx tctx = sctx;
+        tctx.thresholds.default_threshold = t;
+        tctx.max_group_size = group;
+        Values got = run_program(tctx, fr.program, inputs);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_TRUE(got[i].approx_equal(want[i], 1e-4))
+              << b.name << " mode=" << mode_name(mode) << " t=" << t
+              << " group=" << group;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BenchSuite, IncrementalEmitsMoreVersionsThanModerate) {
+  Benchmark b = bench();
+  FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
+  FlattenResult mod = flatten(b.program, FlattenMode::Moderate);
+  EXPECT_GE(count_segops(inc.program.body), count_segops(mod.program.body))
+      << b.name;
+  EXPECT_EQ(mod.thresholds.size(), 0u);
+}
+
+TEST_P(BenchSuite, CostModelProducesFiniteTimes) {
+  Benchmark b = bench();
+  for (FlattenMode mode : {FlattenMode::Moderate, FlattenMode::Incremental,
+                           FlattenMode::Full}) {
+    FlattenResult fr = flatten(b.program, mode);
+    for (const auto& dev : {device_k40(), device_vega64()}) {
+      for (const auto& d : b.datasets) {
+        RunEstimate est = estimate_run(dev, fr.program, d.sizes, {});
+        EXPECT_GT(est.time_us, 0) << b.name << " " << d.name;
+        EXPECT_TRUE(std::isfinite(est.time_us)) << b.name << " " << d.name;
+        EXPECT_GE(est.kernel_launches, 1) << b.name << " " << d.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchSuite, ::testing::ValuesIn(all_benchmark_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace incflat

@@ -1,0 +1,165 @@
+// Edge cases and failure injection across the stack: multi-result
+// distribution, irregular runtime values, degenerate sizes, and malformed
+// target programs.
+#include <gtest/gtest.h>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/benchsuite/reference.h"
+#include "src/flatten/flatten.h"
+#include "src/gpusim/cost.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/print.h"
+#include "src/ir/typecheck.h"
+#include "src/support/error.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+Type f32s() { return Type::scalar(Scalar::F32); }
+
+TEST(EdgeCases, MultiResultMapDistributesBothArrays) {
+  // map (\xs -> let (as, bs) = (scan + xs, scan max xs) used separately)
+  // — a multi-result producer whose two results feed different consumers.
+  Program p;
+  p.name = "multi";
+  p.inputs = {{"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})}};
+  Lambda two = lam(
+      {ib::p("x", f32s())},
+      tuple({add(var("x"), cf32(1)), mul(var("x"), cf32(2))}));
+  p.body = map1(
+      lam({ib::p("xs", Type())},
+          letn({"as", "bs"}, map(two, {var("xs")}),
+               tuple({scan(binlam("+", Scalar::F32), {cf32(0)}, {var("as")}),
+                      scan(binlam("max", Scalar::F32), {cf32(-1e30)},
+                           {var("bs")})}))),
+      var("xss"));
+  p = typecheck_program(std::move(p));
+
+  Rng rng(21);
+  Value xss = Value::zeros(Scalar::F32, {3, 4});
+  for (int64_t i = 0; i < 12; ++i) xss.fset(i, rng.uniform(-1, 1));
+  InterpCtx sctx;
+  sctx.sizes = {{"n", 3}, {"m", 4}};
+  Values want = run_program(sctx, p, {xss});
+  for (FlattenMode mode : {FlattenMode::Moderate, FlattenMode::Incremental,
+                           FlattenMode::Full}) {
+    FlattenResult fr = flatten(p, mode);
+    for (int64_t t : {int64_t{1}, int64_t{1} << 20}) {
+      InterpCtx ctx = sctx;
+      ctx.thresholds.default_threshold = t;
+      Values got = run_program(ctx, fr.program, {xss});
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_TRUE(got[0].approx_equal(want[0], 1e-4)) << mode_name(mode);
+      EXPECT_TRUE(got[1].approx_equal(want[1], 1e-4)) << mode_name(mode);
+    }
+  }
+}
+
+TEST(EdgeCases, SizeOneDimensionsEverywhere) {
+  // Degenerate sizes must not break flattening, interpretation, or the
+  // cost model.
+  Program p;
+  p.name = "tiny";
+  p.inputs = {{"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})}};
+  p.body = map1(
+      lam({ib::p("xs", Type())},
+          redomap(binlam("+", Scalar::F32),
+                  lam({ib::p("x", f32s())}, var("x")), {cf32(0)},
+                  {var("xs")})),
+      var("xss"));
+  p = typecheck_program(std::move(p));
+  FlattenResult fr = flatten(p, FlattenMode::Incremental);
+  InterpCtx ctx;
+  ctx.sizes = {{"n", 1}, {"m", 1}};
+  Value xss = Value::zeros(Scalar::F32, {1, 1});
+  xss.fset(0, 5);
+  Values got = run_program(ctx, fr.program, {xss});
+  EXPECT_NEAR(got[0].index({0}).as_float(), 5, 1e-6);
+  RunEstimate est = estimate_run(device_k40(), fr.program, ctx.sizes, {});
+  EXPECT_GT(est.time_us, 0);
+}
+
+TEST(EdgeCases, SegOpRuntimeShapeMismatchThrows) {
+  // A seg-op whose space dim disagrees with the actual array shape must
+  // fail loudly at run time.
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"xs"}, Dim::c(5)}};
+  so.body = var("x");
+  Env env{{"xs", Value::zeros(Scalar::F32, {3})}};
+  InterpCtx ctx;
+  EXPECT_THROW(eval(ctx, mk(std::move(so)), env), EvalError);
+}
+
+TEST(EdgeCases, SegOpUnboundSpaceArrayThrows) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"nowhere"}, Dim::c(2)}};
+  so.body = var("x");
+  InterpCtx ctx;
+  EXPECT_THROW(eval(ctx, mk(std::move(so)), {}), EvalError);
+}
+
+TEST(EdgeCases, IndexOutOfBoundsThrows) {
+  Env env{{"a", Value::zeros(Scalar::F32, {2})}};
+  InterpCtx ctx;
+  EXPECT_THROW(eval(ctx, index(var("a"), {ci64(2)}), env), EvalError);
+}
+
+TEST(EdgeCases, GuardedProgramWithAllVersionsInfeasibleFallsThrough) {
+  // max_group_size = 1 makes every intra-group version infeasible; the
+  // fallback (fully flattened / outer) arm must still compute correctly.
+  Program p;
+  p.name = "fallthrough";
+  p.inputs = {{"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})}};
+  p.body = map1(
+      lam({ib::p("xs", Type())},
+          map1(lam({ib::p("x", f32s())}, add(var("x"), cf32(1))),
+               var("xs"))),
+      var("xss"));
+  p = typecheck_program(std::move(p));
+  FlattenResult fr = flatten(p, FlattenMode::Incremental);
+  InterpCtx ctx;
+  ctx.sizes = {{"n", 2}, {"m", 3}};
+  ctx.max_group_size = 1;
+  ctx.thresholds.default_threshold = 1;  // every par test succeeds
+  Value xss = Value::zeros(Scalar::F32, {2, 3});
+  Values got = run_program(ctx, fr.program, {xss});
+  EXPECT_NEAR(got[0].index({1, 2}).as_float(), 1, 1e-6);
+}
+
+TEST(EdgeCases, AmdFootnoteParboilComparison) {
+  // Fig. 2's AMD footnote: on the Vega profile, tuned IF outperforms the
+  // register-tiled Parboil baseline for small n while the baseline is up
+  // to 2x faster at n = 10 (k = 25).
+  Benchmark b = get_benchmark("matmul");
+  FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_vega64();
+  auto best_compiler_time = [&](int n_exp) {
+    const int m_exp = 25 - 2 * n_exp;
+    const SizeEnv sz{{"n", int64_t{1} << n_exp},
+                     {"m", int64_t{1} << m_exp},
+                     {"k", int64_t{1} << n_exp}};
+    ThresholdEnv off;
+    off.default_threshold = int64_t{1} << 62;
+    const double aif =
+        std::min(estimate_run(dev, inc.program, sz, {}).time_us,
+                 estimate_run(dev, inc.program, sz, off).time_us);
+    const double ref = reference_gemm(dev, sz.at("n"), sz.at("m"),
+                                      sz.at("k"));
+    return std::make_pair(aif, ref);
+  };
+  auto [aif2, ref2] = best_compiler_time(2);
+  EXPECT_LT(aif2, ref2 * 1.01) << "IF wins for small n on Vega";
+  auto [aif10, ref10] = best_compiler_time(10);
+  EXPECT_GT(aif10, ref10) << "Parboil wins at n=10 on Vega";
+}
+
+}  // namespace
+}  // namespace incflat

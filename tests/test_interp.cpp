@@ -1,0 +1,303 @@
+// Unit tests: reference interpreter — scalar operators, control flow,
+// SOAC semantics (against the paper's equations), and target seg-ops.
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/support/error.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+Value ev1(const ExprP& e, Env env = {}, InterpCtx ctx = {}) {
+  Values vs = eval(ctx, e, env);
+  EXPECT_EQ(vs.size(), 1u);
+  return vs[0];
+}
+
+Value arr_f32(std::initializer_list<double> xs) {
+  Value v = Value::zeros(Scalar::F32, {static_cast<int64_t>(xs.size())});
+  int64_t i = 0;
+  for (double x : xs) v.fset(i++, x);
+  return v;
+}
+
+// ------------------------------------------------------------- scalar ops
+
+struct BinCase {
+  const char* op;
+  double a, b, want;
+};
+
+class FloatBinOps : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(FloatBinOps, ComputesExpected) {
+  const BinCase c = GetParam();
+  Value got = ev1(bin(c.op, cf32(c.a), cf32(c.b)));
+  EXPECT_NEAR(got.as_float(), c.want, 1e-9) << c.op;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, FloatBinOps,
+    ::testing::Values(BinCase{"+", 2, 3, 5}, BinCase{"-", 2, 3, -1},
+                      BinCase{"*", 2, 3, 6}, BinCase{"/", 3, 2, 1.5},
+                      BinCase{"min", 2, 3, 2}, BinCase{"max", 2, 3, 3},
+                      BinCase{"pow", 2, 10, 1024}));
+
+struct IntBinCase {
+  const char* op;
+  int64_t a, b, want;
+};
+
+class IntBinOps : public ::testing::TestWithParam<IntBinCase> {};
+
+TEST_P(IntBinOps, ComputesExpected) {
+  const IntBinCase c = GetParam();
+  Value got = ev1(bin(c.op, ci64(c.a), ci64(c.b)));
+  EXPECT_EQ(got.as_int(), c.want) << c.op;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, IntBinOps,
+    ::testing::Values(IntBinCase{"+", 2, 3, 5}, IntBinCase{"-", 2, 3, -1},
+                      IntBinCase{"*", 4, 3, 12}, IntBinCase{"/", 7, 2, 3},
+                      IntBinCase{"%", 7, 2, 1}, IntBinCase{"min", -1, 1, -1},
+                      IntBinCase{"max", -1, 1, 1}));
+
+TEST(Interp, Comparisons) {
+  EXPECT_TRUE(ev1(lt(ci64(1), ci64(2))).as_bool());
+  EXPECT_FALSE(ev1(lt(ci64(2), ci64(2))).as_bool());
+  EXPECT_TRUE(ev1(le(ci64(2), ci64(2))).as_bool());
+  EXPECT_TRUE(ev1(eq(cf32(1.5), cf32(1.5))).as_bool());
+}
+
+TEST(Interp, Logic) {
+  EXPECT_TRUE(ev1(bin("&&", cbool(true), cbool(true))).as_bool());
+  EXPECT_FALSE(ev1(bin("&&", cbool(true), cbool(false))).as_bool());
+  EXPECT_TRUE(ev1(bin("||", cbool(false), cbool(true))).as_bool());
+  EXPECT_FALSE(ev1(un("!", cbool(true))).as_bool());
+}
+
+TEST(Interp, UnaryOps) {
+  EXPECT_NEAR(ev1(exp_(cf32(0))).as_float(), 1.0, 1e-9);
+  EXPECT_NEAR(ev1(un("log", cf32(1))).as_float(), 0.0, 1e-9);
+  EXPECT_NEAR(ev1(sqrt_(cf32(9))).as_float(), 3.0, 1e-9);
+  EXPECT_NEAR(ev1(abs_(cf32(-2))).as_float(), 2.0, 1e-9);
+  EXPECT_NEAR(ev1(neg(cf32(2))).as_float(), -2.0, 1e-9);
+  EXPECT_NEAR(ev1(un("i2f", ci64(3))).as_float(), 3.0, 1e-9);
+  EXPECT_EQ(ev1(un("f2i", cf32(3.7))).as_int(), 3);
+}
+
+TEST(Interp, DivisionByZeroThrows) {
+  EXPECT_THROW(ev1(divide(ci64(1), ci64(0))), EvalError);
+  EXPECT_THROW(ev1(bin("%", ci64(1), ci64(0))), EvalError);
+}
+
+// ------------------------------------------------------------ control flow
+
+TEST(Interp, IfSelectsBranch) {
+  EXPECT_EQ(ev1(iff(cbool(true), ci64(1), ci64(2))).as_int(), 1);
+  EXPECT_EQ(ev1(iff(cbool(false), ci64(1), ci64(2))).as_int(), 2);
+}
+
+TEST(Interp, LetBindsMultipleNames) {
+  ExprP e = letn({"a", "b"}, tuple({ci64(2), ci64(3)}),
+                 mul(var("a"), var("b")));
+  EXPECT_EQ(ev1(e).as_int(), 6);
+}
+
+TEST(Interp, UnboundVariableThrows) {
+  EXPECT_THROW(ev1(var("nope")), EvalError);
+}
+
+TEST(Interp, LoopIteratesFixedCount) {
+  // loop x = 1 for i < 5 do x * 2  ==>  32
+  ExprP e = loop({"x"}, {ci64(1)}, "i", ci64(5), mul(var("x"), ci64(2)));
+  EXPECT_EQ(ev1(e).as_int(), 32);
+}
+
+TEST(Interp, LoopIndexIsVisible) {
+  // loop s = 0 for i < 5 do s + i  ==>  0+1+2+3+4 = 10
+  ExprP e = loop({"s"}, {ci64(0)}, "i", ci64(5), add(var("s"), var("i")));
+  EXPECT_EQ(ev1(e).as_int(), 10);
+}
+
+TEST(Interp, LoopZeroTripsReturnsInit) {
+  ExprP e = loop({"x"}, {ci64(7)}, "i", ci64(0), mul(var("x"), ci64(2)));
+  EXPECT_EQ(ev1(e).as_int(), 7);
+}
+
+// ----------------------------------------------------------------- SOACs
+
+TEST(Interp, MapAppliesElementwise) {
+  Env env{{"xs", arr_f32({1, 2, 3})}};
+  ExprP e = map1(lam({ib::p("x", Type::scalar(Scalar::F32))},
+                     mul(var("x"), cf32(2))),
+                 var("xs"));
+  EXPECT_TRUE(ev1(e, env).approx_equal(arr_f32({2, 4, 6})));
+}
+
+TEST(Interp, MapOverTwoArraysZips) {
+  Env env{{"xs", arr_f32({1, 2})}, {"ys", arr_f32({10, 20})}};
+  ExprP e = map(binlam("+", Scalar::F32), {var("xs"), var("ys")});
+  EXPECT_TRUE(ev1(e, env).approx_equal(arr_f32({11, 22})));
+}
+
+TEST(Interp, MapMultiResultProducesTupleOfArrays) {
+  // The paper's Sec. 2 example: map (\x y -> (2*x, 3+y)) xs ys.
+  Env env{{"xs", arr_f32({1, 2})}, {"ys", arr_f32({10, 20})}};
+  ExprP e = map(lam({ib::p("x", Type::scalar(Scalar::F32)),
+                     ib::p("y", Type::scalar(Scalar::F32))},
+                    tuple({mul(cf32(2), var("x")), add(cf32(3), var("y"))})),
+                {var("xs"), var("ys")});
+  InterpCtx ctx;
+  Values vs = eval(ctx, e, env);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_TRUE(vs[0].approx_equal(arr_f32({2, 4})));
+  EXPECT_TRUE(vs[1].approx_equal(arr_f32({13, 23})));
+}
+
+TEST(Interp, ReduceFoldsWithNeutral) {
+  Env env{{"xs", arr_f32({1, 2, 3, 4})}};
+  ExprP e = reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")});
+  EXPECT_NEAR(ev1(e, env).as_float(), 10, 1e-6);
+}
+
+TEST(Interp, ScanIsInclusivePrefix) {
+  Env env{{"xs", arr_f32({1, 2, 3})}};
+  ExprP e = scan(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")});
+  EXPECT_TRUE(ev1(e, env).approx_equal(arr_f32({1, 3, 6})));
+}
+
+TEST(Interp, RedomapEqualsReduceOfMap) {
+  // redomap ⊕ f d xs == reduce ⊕ d (map f xs)  (paper Sec. 2)
+  Env env{{"xs", arr_f32({1, 2, 3})}};
+  Lambda sq = lam({ib::p("x", Type::scalar(Scalar::F32))},
+                  mul(var("x"), var("x")));
+  ExprP rm = redomap(binlam("+", Scalar::F32), sq, {cf32(0)}, {var("xs")});
+  EXPECT_NEAR(ev1(rm, env).as_float(), 14, 1e-6);
+}
+
+TEST(Interp, ScanomapEqualsScanOfMap) {
+  Env env{{"xs", arr_f32({1, 2, 3})}};
+  Lambda dbl = lam({ib::p("x", Type::scalar(Scalar::F32))},
+                   mul(cf32(2), var("x")));
+  ExprP sm = scanomap(binlam("+", Scalar::F32), dbl, {cf32(0)}, {var("xs")});
+  EXPECT_TRUE(ev1(sm, env).approx_equal(arr_f32({2, 6, 12})));
+}
+
+TEST(Interp, ReplicateAndIota) {
+  InterpCtx ctx;
+  ctx.sizes["n"] = 3;
+  Value r = ev1(replicate(Dim::v("n"), cf32(5)), {}, ctx);
+  EXPECT_TRUE(r.approx_equal(arr_f32({5, 5, 5})));
+  Value io = ev1(iota(Dim::v("n")), {}, ctx);
+  EXPECT_EQ(io.iget(0), 0);
+  EXPECT_EQ(io.iget(2), 2);
+}
+
+TEST(Interp, IndexAndRearrange) {
+  Value m = Value::zeros(Scalar::F32, {2, 2});
+  m.fset(0, 1);
+  m.fset(1, 2);
+  m.fset(2, 3);
+  m.fset(3, 4);
+  Env env{{"m", m}};
+  EXPECT_NEAR(ev1(index(var("m"), {ci64(1), ci64(0)}), env).as_float(), 3,
+              1e-9);
+  Value t = ev1(transpose(var("m")), env);
+  EXPECT_NEAR(t.index({0, 1}).as_float(), 3, 1e-9);
+}
+
+// -------------------------------------------------------- target seg-ops
+
+TEST(Interp, SegMapMatchesPaperExample) {
+  // segmap^1 <xs in xss> <x in xs> (x + 1) on [[1,2],[3,4]] == [[2,3],[4,5]]
+  Value xss = Value::zeros(Scalar::F32, {2, 2});
+  for (int64_t i = 0; i < 4; ++i) xss.fset(i, static_cast<double>(i + 1));
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::c(2)},
+              SegBind{{"x"}, {"xs"}, Dim::c(2)}};
+  so.body = add(var("x"), cf32(1));
+  Env env{{"xss", xss}};
+  Value out = ev1(mk(std::move(so)), env);
+  EXPECT_NEAR(out.index({0, 0}).as_float(), 2, 1e-9);
+  EXPECT_NEAR(out.index({1, 1}).as_float(), 5, 1e-9);
+}
+
+TEST(Interp, SegScanMatchesPaperExample) {
+  // segscan^1 <xs in xss> <x in xs> (+) 0 (x) on [[1,2],[3,4]] ==
+  // [[1,3],[3,7]]
+  Value xss = Value::zeros(Scalar::F32, {2, 2});
+  for (int64_t i = 0; i < 4; ++i) xss.fset(i, static_cast<double>(i + 1));
+  SegOpE so;
+  so.op = SegOpE::Op::Scan;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::c(2)},
+              SegBind{{"x"}, {"xs"}, Dim::c(2)}};
+  so.combine = binlam("+", Scalar::F32);
+  so.neutral = {cf32(0)};
+  so.body = var("x");
+  Env env{{"xss", xss}};
+  Value out = ev1(mk(std::move(so)), env);
+  EXPECT_NEAR(out.index({0, 1}).as_float(), 3, 1e-9);
+  EXPECT_NEAR(out.index({1, 0}).as_float(), 3, 1e-9);
+  EXPECT_NEAR(out.index({1, 1}).as_float(), 7, 1e-9);
+}
+
+TEST(Interp, SegRedReducesInnermostDim) {
+  Value xss = Value::zeros(Scalar::F32, {2, 3});
+  for (int64_t i = 0; i < 6; ++i) xss.fset(i, 1.0);
+  SegOpE so;
+  so.op = SegOpE::Op::Red;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::c(2)},
+              SegBind{{"x"}, {"xs"}, Dim::c(3)}};
+  so.combine = binlam("+", Scalar::F32);
+  so.neutral = {cf32(0)};
+  so.body = var("x");
+  Env env{{"xss", xss}};
+  Value out = ev1(mk(std::move(so)), env);
+  ASSERT_EQ(out.shape(), (std::vector<int64_t>{2}));
+  EXPECT_NEAR(out.index({0}).as_float(), 3, 1e-9);
+}
+
+// -------------------------------------------------------- guard predicates
+
+TEST(Interp, ThresholdCmpUsesSizesAndAssignment) {
+  InterpCtx ctx;
+  ctx.sizes = {{"n", 100}};
+  ctx.thresholds.values["t0"] = 50;
+  ExprP cmp = mk(ThresholdCmpE{"t0", SizeExpr::of(Dim::v("n")), SizeExpr{}});
+  EXPECT_TRUE(ev1(cmp, {}, ctx).as_bool());
+  ctx.thresholds.values["t0"] = 200;
+  EXPECT_FALSE(ev1(cmp, {}, ctx).as_bool());
+}
+
+TEST(Interp, ThresholdCmpDefaultsTo2To15) {
+  InterpCtx ctx;
+  ctx.sizes = {{"n", (1 << 15) + 1}};
+  ExprP cmp = mk(ThresholdCmpE{"t0", SizeExpr::of(Dim::v("n")), SizeExpr{}});
+  EXPECT_TRUE(ev1(cmp, {}, ctx).as_bool());
+  ctx.sizes["n"] = (1 << 15) - 1;
+  EXPECT_FALSE(ev1(cmp, {}, ctx).as_bool());
+}
+
+TEST(Interp, ThresholdCmpFitConstraintRespectsGroupLimit) {
+  InterpCtx ctx;
+  ctx.sizes = {{"n", 1 << 20}, {"g", 2048}};
+  ctx.thresholds.values["t0"] = 1;
+  ctx.max_group_size = 1024;
+  ExprP cmp = mk(ThresholdCmpE{"t0", SizeExpr::of(Dim::v("n")),
+                               SizeExpr::of(Dim::v("g"))});
+  EXPECT_FALSE(ev1(cmp, {}, ctx).as_bool());  // 2048 > 1024: infeasible
+  ctx.sizes["g"] = 512;
+  EXPECT_TRUE(ev1(cmp, {}, ctx).as_bool());
+}
+
+}  // namespace
+}  // namespace incflat

@@ -1,0 +1,198 @@
+// Unit tests: the pre-flattening passes — A-normalisation (SOAC hoisting)
+// and producer-consumer fusion — plus block-tiling detection.
+#include <gtest/gtest.h>
+
+#include "src/flatten/fusion.h"
+#include "src/flatten/normalize.h"
+#include "src/flatten/tiling.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/print.h"
+#include "src/ir/traverse.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+Type f32s() { return Type::scalar(Scalar::F32); }
+
+TEST(Normalize, HoistsSoacOutOfBinop) {
+  // 1 + reduce(...)  ==>  let anf = reduce(...) in 1 + anf
+  ExprP e = add(cf32(1),
+                reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")}));
+  ExprP n = normalize_expr(e);
+  auto* l = n->as<LetE>();
+  ASSERT_NE(l, nullptr) << pretty(n);
+  EXPECT_TRUE(l->rhs->is<ReduceE>());
+  EXPECT_TRUE(l->body->is<BinOpE>());
+}
+
+TEST(Normalize, HoistsSoacOutOfUnopChain) {
+  ExprP e = exp_(neg(redomap(binlam("+", Scalar::F32),
+                             lam({p("x", f32s())}, var("x")), {cf32(0)},
+                             {var("xs")})));
+  ExprP n = normalize_expr(e);
+  EXPECT_TRUE(n->is<LetE>()) << pretty(n);
+}
+
+TEST(Normalize, LeavesBindingPositionsAlone) {
+  ExprP e = let1("ys", map1(lam({p("x", f32s())}, var("x")), var("xs")),
+                 var("ys"));
+  ExprP n = normalize_expr(e);
+  auto* l = n->as<LetE>();
+  ASSERT_NE(l, nullptr);
+  EXPECT_TRUE(l->rhs->is<MapE>());  // unchanged
+}
+
+TEST(Normalize, HoistsFromLoopInits) {
+  ExprP e = loop({"a"}, {reduce(binlam("+", Scalar::F32), {cf32(0)},
+                                {var("xs")})},
+                 "i", ci64(2), add(var("a"), cf32(1)));
+  ExprP n = normalize_expr(e);
+  EXPECT_TRUE(n->is<LetE>()) << pretty(n);
+}
+
+TEST(Normalize, PreservesSemantics) {
+  Program p;
+  p.name = "norm";
+  p.inputs = {{"xs", Type::array(Scalar::F32, {Dim::v("n")})}};
+  p.body = divide(
+      cf32(1),
+      add(cf32(1), exp_(neg(reduce(binlam("+", Scalar::F32), {cf32(0)},
+                                   {var("xs")})))));
+  p = typecheck_program(std::move(p));
+  Program np = normalize_program(p);
+
+  InterpCtx ctx;
+  ctx.sizes = {{"n", 5}};
+  Value xs = Value::zeros(Scalar::F32, {5});
+  for (int64_t i = 0; i < 5; ++i) xs.fset(i, 0.1 * static_cast<double>(i));
+  Values a = run_program(ctx, p, {xs});
+  Values b = run_program(ctx, np, {xs});
+  EXPECT_TRUE(a[0].approx_equal(b[0]));
+}
+
+TEST(Fusion, MapIntoReduceBecomesRedomap) {
+  ExprP e = let1("ys",
+                 map1(lam({p("x", f32s())}, mul(var("x"), var("x"))),
+                      var("xs")),
+                 reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("ys")}));
+  ExprP f = fuse_expr(e);
+  EXPECT_TRUE(f->is<RedomapE>()) << pretty(f);
+}
+
+TEST(Fusion, MapIntoScanBecomesScanomap) {
+  ExprP e = let1("ys",
+                 map1(lam({p("x", f32s())}, mul(var("x"), cf32(2))),
+                      var("xs")),
+                 scan(binlam("+", Scalar::F32), {cf32(0)}, {var("ys")}));
+  ExprP f = fuse_expr(e);
+  EXPECT_TRUE(f->is<ScanomapE>()) << pretty(f);
+}
+
+TEST(Fusion, FusesThroughInterposedLet) {
+  // let ys = map f xs in let s = reduce + ys in s * 2, ys dead afterwards.
+  ExprP e = let1(
+      "ys", map1(lam({p("x", f32s())}, var("x")), var("xs")),
+      let1("s", reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("ys")}),
+           mul(var("s"), cf32(2))));
+  ExprP f = fuse_expr(e);
+  auto* l = f->as<LetE>();
+  ASSERT_NE(l, nullptr) << pretty(f);
+  EXPECT_TRUE(l->rhs->is<RedomapE>()) << pretty(f);
+}
+
+TEST(Fusion, DoesNotFuseWhenProducerStillUsed) {
+  // ys used both by the reduce and afterwards: no fusion.
+  ExprP e = let1(
+      "ys", map1(lam({p("x", f32s())}, var("x")), var("xs")),
+      let1("s", reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("ys")}),
+           reduce(binlam("max", Scalar::F32), {cf32(-1e30)}, {var("ys")})));
+  ExprP f = fuse_expr(e);
+  auto* l = f->as<LetE>();
+  ASSERT_NE(l, nullptr);
+  EXPECT_TRUE(l->rhs->is<MapE>()) << pretty(f);
+}
+
+TEST(Fusion, DoesNotFuseDifferentArray) {
+  ExprP e = let1("ys", map1(lam({p("x", f32s())}, var("x")), var("xs")),
+                 reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("zs")}));
+  ExprP f = fuse_expr(e);
+  EXPECT_FALSE(f->is<RedomapE>());
+}
+
+TEST(Fusion, PreservesSemantics) {
+  Program p;
+  p.name = "fuse";
+  p.inputs = {{"xs", Type::array(Scalar::F32, {Dim::v("n")})}};
+  p.body = let1("ys",
+                map1(lam({ib::p("x", f32s())}, mul(var("x"), var("x"))),
+                     var("xs")),
+                reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("ys")}));
+  p = typecheck_program(std::move(p));
+  Program fp = fuse_program(p);
+  EXPECT_EQ(count_fused(fp.body), 1);
+
+  InterpCtx ctx;
+  ctx.sizes = {{"n", 4}};
+  Value xs = Value::zeros(Scalar::F32, {4});
+  for (int64_t i = 0; i < 4; ++i) xs.fset(i, static_cast<double>(i));
+  EXPECT_TRUE(run_program(ctx, p, {xs})[0].approx_equal(
+      run_program(ctx, fp, {xs})[0]));
+}
+
+TEST(Tiling, MarksMatmulStyleSegmap) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")},
+              SegBind{{"ys"}, {"yst"}, Dim::v("k")}};
+  so.body = redomap(binlam("+", Scalar::F32),
+                    lam({p("x", f32s()), p("y", f32s())},
+                        mul(var("x"), var("y"))),
+                    {cf32(0)}, {var("xs"), var("ys")});
+  Program p;
+  p.name = "t";
+  p.body = mk(std::move(so));
+  Program marked = apply_tiling(std::move(p));
+  EXPECT_EQ(count_tiled(marked.body), 1);
+}
+
+TEST(Tiling, SkipsOneDimensionalSpaces) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")}};
+  so.body = redomap(binlam("+", Scalar::F32),
+                    lam({p("x", f32s())}, var("x")), {cf32(0)},
+                    {var("xs")});
+  Program p;
+  p.name = "t";
+  p.body = mk(std::move(so));
+  EXPECT_EQ(count_tiled(apply_tiling(std::move(p)).body), 0);
+}
+
+TEST(Tiling, SkipsIntraGroupKernels) {
+  SegOpE inner;
+  inner.op = SegOpE::Op::Red;
+  inner.level = 0;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  inner.combine = binlam("+", Scalar::F32);
+  inner.neutral = {cf32(0)};
+  inner.body = var("x");
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")},
+              SegBind{{"ys"}, {"yst"}, Dim::v("k")}};
+  so.body = mk(std::move(inner));
+  Program p;
+  p.name = "t";
+  p.body = mk(std::move(so));
+  EXPECT_EQ(count_tiled(apply_tiling(std::move(p)).body), 0);
+}
+
+}  // namespace
+}  // namespace incflat

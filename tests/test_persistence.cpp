@@ -1,0 +1,92 @@
+// Unit tests: JSON writer and .tuning file round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/autotune/tuning_file.h"
+#include "src/support/error.h"
+#include "src/support/json.h"
+
+namespace incflat {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).str(), "true");
+  EXPECT_EQ(Json(42).str(), "42");
+  EXPECT_EQ(Json(1.5).str(), "1.5");
+  EXPECT_EQ(Json("hi").str(), "\"hi\"");
+  EXPECT_EQ(Json().str(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, CompactArraysAndObjects) {
+  Json a = Json::array();
+  a.push(1).push(2).push("x");
+  EXPECT_EQ(a.str(-1), "[1,2,\"x\"]");
+  Json o = Json::object();
+  o.set("k", 1).set("s", "v");
+  EXPECT_EQ(o.str(-1), "{\"k\":1,\"s\":\"v\"}");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json o = Json::object();
+  o.set("k", 1).set("k", 2);
+  EXPECT_EQ(o.str(-1), "{\"k\":2}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().str(-1), "[]");
+  EXPECT_EQ(Json::object().str(-1), "{}");
+}
+
+TEST(Json, NestedIndentedOutput) {
+  Json o = Json::object();
+  Json inner = Json::array();
+  inner.push(1);
+  o.set("xs", std::move(inner));
+  EXPECT_EQ(o.str(2), "{\n  \"xs\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, PushOnNonArrayThrows) {
+  Json o = Json::object();
+  EXPECT_THROW(o.push(1), std::logic_error);
+  Json a = Json::array();
+  EXPECT_THROW(a.set("k", 1), std::logic_error);
+}
+
+TEST(TuningFile, RoundTripsAssignments) {
+  ThresholdEnv env;
+  env.default_threshold = 1 << 14;
+  env.values = {{"suff_outer_par_0", 128}, {"suff_intra_par_1", 1 << 20}};
+  ThresholdEnv back = tuning_from_string(tuning_to_string(env));
+  EXPECT_EQ(back.default_threshold, env.default_threshold);
+  EXPECT_EQ(back.values, env.values);
+}
+
+TEST(TuningFile, ParsesCommentsAndBlanks) {
+  ThresholdEnv env = tuning_from_string(
+      "# a comment\n\n  \t\nsuff_outer_par_0=42 # trailing\n");
+  EXPECT_EQ(env.values.at("suff_outer_par_0"), 42);
+}
+
+TEST(TuningFile, RejectsMalformedLines) {
+  EXPECT_THROW(tuning_from_string("no_equals_sign\n"), EvalError);
+  EXPECT_THROW(tuning_from_string("t0=notanumber\n"), EvalError);
+}
+
+TEST(TuningFile, SaveAndLoadFile) {
+  ThresholdEnv env;
+  env.values["t0"] = 7;
+  const std::string path = "/tmp/incflat_test.tuning";
+  save_tuning(path, env);
+  ThresholdEnv back = load_tuning(path);
+  EXPECT_EQ(back.values.at("t0"), 7);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_tuning("/nonexistent/dir/x.tuning"), EvalError);
+}
+
+}  // namespace
+}  // namespace incflat

@@ -1,0 +1,89 @@
+// Golden tests for the pretty-printer: the concrete syntax is the
+// debugging surface for the whole compiler, so its shape is pinned here.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/print.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+TEST(Print, Atoms) {
+  EXPECT_EQ(pretty(var("x")), "x");
+  EXPECT_EQ(pretty(ci64(42)), "42");
+  EXPECT_EQ(pretty(ci32(7)), "7i32");
+  EXPECT_EQ(pretty(cbool(true)), "true");
+  EXPECT_EQ(pretty(cf32(1.5)), "1.5000f32");
+  EXPECT_EQ(pretty(cf64(2.0)), "2.0000f64");
+}
+
+TEST(Print, Operators) {
+  EXPECT_EQ(pretty(add(var("a"), var("b"))), "(a + b)");
+  EXPECT_EQ(pretty(exp_(var("a"))), "exp(a)");
+  EXPECT_EQ(pretty(min_(ci64(1), ci64(2))), "(1 min 2)");
+}
+
+TEST(Print, ArrayOps) {
+  EXPECT_EQ(pretty(iota(Dim::v("n"))), "iota n");
+  EXPECT_EQ(pretty(replicate(Dim::c(4), cf32(0))),
+            "replicate 4 0.0000f32");
+  EXPECT_EQ(pretty(transpose(var("m"))), "rearrange (1,0) m");
+  EXPECT_EQ(pretty(index(var("a"), {ci64(1), var("j")})), "a[1,j]");
+  EXPECT_EQ(pretty(tuple({var("a"), var("b")})), "(a, b)");
+}
+
+TEST(Print, Soacs) {
+  ExprP m = map1(lam({p("x", Type::scalar(Scalar::F32))},
+                     mul(var("x"), var("x"))),
+                 var("xs"));
+  EXPECT_EQ(pretty(m), "map (\\x -> (x * x)) xs");
+  ExprP r = reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")});
+  EXPECT_EQ(pretty(r),
+            "reduce (\\_x _y -> (_x + _y)) (0.0000f32) xs");
+}
+
+TEST(Print, SegOpsShowLevelSpaceAndTiling) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")},
+              SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  so.body = add(var("x"), cf32(1));
+  so.block_tiled = true;
+  const std::string s = pretty(mk(std::move(so)));
+  EXPECT_NE(s.find("segmap^1"), std::string::npos);
+  EXPECT_NE(s.find("[tiled]"), std::string::npos);
+  EXPECT_NE(s.find("<xs in xss>"), std::string::npos);
+  EXPECT_NE(s.find("<x in xs>"), std::string::npos);
+}
+
+TEST(Print, ThresholdGuards) {
+  ExprP cmp = mk(ThresholdCmpE{"suff_outer_par_0",
+                               SizeExpr::of(Dim::v("n")), SizeExpr{}});
+  EXPECT_EQ(pretty(cmp), "n >= suff_outer_par_0");
+}
+
+TEST(Print, LoopAndLet) {
+  ExprP e = let1("a", ci64(1),
+                 loop({"x"}, {var("a")}, "i", ci64(3),
+                      add(var("x"), var("i"))));
+  const std::string s = pretty(e);
+  EXPECT_NE(s.find("let a = 1"), std::string::npos);
+  EXPECT_NE(s.find("loop x = a for i < 3 do"), std::string::npos);
+}
+
+TEST(Print, ProgramHeaderShowsSignature) {
+  Program p;
+  p.name = "f";
+  p.inputs = {{"xs", Type::array(Scalar::F32, {Dim::v("n")})}};
+  p.body = var("xs");
+  p = typecheck_program(std::move(p));
+  const std::string s = pretty(p);
+  EXPECT_NE(s.find("def f (xs: [n]f32) ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incflat

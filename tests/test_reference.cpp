@@ -1,0 +1,92 @@
+// Unit tests: the hand-written-reference cost models — basic sanity
+// (finite, positive, monotone in problem size) and the paper-sourced
+// qualitative properties each model encodes.
+#include <gtest/gtest.h>
+
+#include "src/benchsuite/reference.h"
+
+namespace incflat {
+namespace {
+
+const DeviceProfile k40 = device_k40();
+const DeviceProfile vega = device_vega64();
+
+TEST(ReferenceGemm, PositiveAndMonotoneInWork) {
+  const double t1 = reference_gemm(k40, 256, 256, 256);
+  const double t2 = reference_gemm(k40, 512, 512, 512);
+  EXPECT_GT(t1, 0);
+  EXPECT_GT(t2, 4 * t1);  // 8x the flops, at least 4x the time
+}
+
+TEST(ReferenceGemm, DegenerateShapesPayPadding) {
+  // 1 x 2^20 by 2^20 x 1 (a dot product) must be far above the
+  // bandwidth-optimal time for the same work (Fig. 2 n<3 behaviour).
+  const double degenerate = reference_gemm(k40, 1, 1 << 20, 1);
+  const double ideal = 2.0 * 4 * (1 << 20) / k40.gmem_bw;
+  EXPECT_GT(degenerate, 3 * ideal);
+}
+
+TEST(ReferenceFinPar, AllParallelBeatsOuterOnVegaSmall) {
+  // Vega favours local-memory utilisation (Sec. 5.2).
+  const SizeEnv small{{"numS", 16}, {"numT", 256}, {"numX", 32},
+                      {"numY", 256}};
+  EXPECT_LT(reference_finpar_all(vega, small),
+            reference_finpar_out(vega, small));
+}
+
+TEST(ReferenceFinPar, OuterWinsOnK40Large) {
+  const SizeEnv large{{"numS", 256}, {"numT", 64}, {"numX", 256},
+                      {"numY", 256}};
+  EXPECT_LT(reference_finpar_out(k40, large),
+            reference_finpar_all(k40, large));
+}
+
+TEST(ReferenceOptionPricing, ManyPathsScaleBetterThanFew) {
+  const SizeEnv d1{{"paths", 1048576}, {"dates", 5}, {"und", 32}};
+  const SizeEnv d2{{"paths", 500}, {"dates", 367}, {"und", 32}};
+  const double t1 = reference_optionpricing(k40, d1);
+  const double t2 = reference_optionpricing(k40, d2);
+  // D1 has ~37x the work of D2 but full occupancy; per-unit-of-work time
+  // must be far lower.
+  const double w1 = 1048576.0 * 5 * 32;
+  const double w2 = 500.0 * 367 * 32;
+  EXPECT_LT(t1 / w1, 0.5 * t2 / w2);
+}
+
+TEST(ReferenceCpuReduce, ScalesWithBytes) {
+  EXPECT_NEAR(cpu_reduce_cost(2e6), 2 * cpu_reduce_cost(1e6), 1e-9);
+  EXPECT_GT(cpu_reduce_cost(4e6), 1000);  // several ms for megabytes
+}
+
+TEST(ReferenceRodinia, AllModelsFiniteOnTheirDatasets) {
+  EXPECT_GT(reference_rodinia_backprop(
+                k40, {{"n_in", 1 << 20}, {"n_out", 16}}), 0);
+  EXPECT_GT(reference_rodinia_lavamd(
+                k40, {{"boxes", 1000}, {"ppb", 50}, {"nbr", 27}}), 0);
+  EXPECT_GT(reference_rodinia_nw(
+                k40, {{"nblocks", 128}, {"bsize", 256}, {"waves", 32}}), 0);
+  EXPECT_GT(reference_rodinia_nn(k40, {{"nq", 1}, {"npts", 855280}}), 0);
+  EXPECT_GT(reference_rodinia_srad(
+                k40, {{"nimg", 1}, {"h", 502}, {"w", 458}, {"iters", 8}}),
+            0);
+  EXPECT_GT(reference_rodinia_pathfinder(
+                k40, {{"nbatch", 1}, {"rows", 100}, {"cols", 100000}}), 0);
+}
+
+TEST(ReferenceRodinia, BackpropDominatedByCpuReduce) {
+  // The CPU leg must dominate the model (that is the paper's explanation
+  // for Rodinia's slowdown).
+  const SizeEnv sz{{"n_in", 1 << 20}, {"n_out", 16}};
+  const double total = reference_rodinia_backprop(k40, sz);
+  const double cpu = cpu_reduce_cost(4.0 * 16 * ((1 << 20) / 8.0));
+  EXPECT_GT(cpu, 0.5 * total);
+}
+
+TEST(ReferenceRodinia, DeviceAffectsRuntime) {
+  const SizeEnv sz{{"boxes", 1000}, {"ppb", 50}, {"nbr", 27}};
+  EXPECT_NE(reference_rodinia_lavamd(k40, sz),
+            reference_rodinia_lavamd(vega, sz));
+}
+
+}  // namespace
+}  // namespace incflat

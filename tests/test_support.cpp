@@ -1,0 +1,93 @@
+// Unit tests: support utilities — table printer, chart renderer, string
+// formatting, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/support/chart.h"
+#include "src/support/rng.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+
+namespace incflat {
+namespace {
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"a", "long-header"});
+  t.row({"xxxx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  // Both rows must have the second column starting at the same offset.
+  const size_t h = s.find("long-header");
+  const size_t v = s.find("y");
+  ASSERT_NE(h, std::string::npos);
+  ASSERT_NE(v, std::string::npos);
+  EXPECT_EQ(h % (s.find('\n') + 1), 6u);  // "xxxx" + 2 spaces
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.row({"1"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(Chart, RendersAllSeriesOnLogAxis) {
+  std::ostringstream os;
+  print_log_chart(os,
+                  {{"up", 'u', {1, 10, 100, 1000}},
+                   {"down", 'd', {1000, 100, 10, 1}}},
+                  0, 8);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("u=up"), std::string::npos);
+  EXPECT_NE(s.find("d=down"), std::string::npos);
+  // Both glyphs appear at least four times (one per x, plus legend text).
+  EXPECT_GE(std::count(s.begin(), s.end(), 'u'), 4);
+  EXPECT_GE(std::count(s.begin(), s.end(), 'd'), 4);
+}
+
+TEST(Chart, HandlesEmptyAndNonPositive) {
+  std::ostringstream os;
+  print_log_chart(os, {});
+  EXPECT_TRUE(os.str().empty());
+  print_log_chart(os, {{"s", 's', {0, -1, 5}}}, 0, 4);
+  EXPECT_FALSE(os.str().empty());  // the positive point still renders
+}
+
+TEST(Str, Formatting) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_us(12.34), "12.3us");
+  EXPECT_EQ(fmt_us(12345.0), "12.35ms");
+  EXPECT_EQ(fmt_us(3.2e6), "3.200s");
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b"}, ","), "a,b");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+    const double d = r.uniform();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FlipIsRoughlyFair) {
+  Rng r(123);
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) heads += r.flip() ? 1 : 0;
+  EXPECT_GT(heads, 850);
+  EXPECT_LT(heads, 1150);
+}
+
+}  // namespace
+}  // namespace incflat

@@ -1,0 +1,146 @@
+// Unit tests: structural traversals — free variables, SOAC detection,
+// renaming, substitution, counting.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/print.h"
+#include "src/ir/traverse.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+TEST(FreeVars, BindersShadow) {
+  // let x = y in x + z : free = {y, z}
+  ExprP e = let1("x", var("y"), add(var("x"), var("z")));
+  auto fv = free_vars(e);
+  EXPECT_TRUE(fv.count("y"));
+  EXPECT_TRUE(fv.count("z"));
+  EXPECT_FALSE(fv.count("x"));
+}
+
+TEST(FreeVars, LambdaParamsBound) {
+  ExprP e = map1(lam({p("x", Type::scalar(Scalar::F32))},
+                     add(var("x"), var("c"))),
+                 var("xs"));
+  auto fv = free_vars(e);
+  EXPECT_TRUE(fv.count("xs"));
+  EXPECT_TRUE(fv.count("c"));
+  EXPECT_FALSE(fv.count("x"));
+}
+
+TEST(FreeVars, LoopBindsParamsAndIndex) {
+  ExprP e = loop({"acc"}, {var("init")}, "i", var("n"),
+                 add(var("acc"), var("i")));
+  auto fv = free_vars(e);
+  EXPECT_TRUE(fv.count("init"));
+  EXPECT_TRUE(fv.count("n"));
+  EXPECT_FALSE(fv.count("acc"));
+  EXPECT_FALSE(fv.count("i"));
+}
+
+TEST(FreeVars, SegSpaceArraysAreFreeParamsAreBound) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"xs"}, Dim::v("n")}};
+  so.body = add(var("x"), var("k"));
+  auto fv = free_vars(mk(std::move(so)));
+  EXPECT_TRUE(fv.count("xs"));
+  EXPECT_TRUE(fv.count("k"));
+  EXPECT_TRUE(fv.count("n"));  // size vars count as free
+  EXPECT_FALSE(fv.count("x"));
+}
+
+TEST(FreeVars, DimVarsInIotaCount) {
+  EXPECT_TRUE(free_vars(iota(Dim::v("n"))).count("n"));
+  EXPECT_TRUE(free_vars(replicate(Dim::v("m"), cf32(0))).count("m"));
+}
+
+TEST(HasSoacs, DetectsNestedParallelism) {
+  EXPECT_FALSE(has_soacs(add(cf32(1), cf32(2))));
+  EXPECT_TRUE(has_soacs(map1(lam({p("x", Type())}, var("x")), var("xs"))));
+  // SOAC nested inside a scalar op / loop body.
+  ExprP nested =
+      add(cf32(1), reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")}));
+  EXPECT_TRUE(has_soacs(nested));
+  ExprP in_loop = loop({"a"}, {cf32(0)}, "i", ci64(3),
+                       reduce(binlam("+", Scalar::F32), {cf32(0)},
+                              {var("xs")}));
+  EXPECT_TRUE(has_soacs(in_loop));
+  EXPECT_FALSE(has_soacs(iota(Dim::v("n"))));
+  EXPECT_FALSE(has_soacs(rearrange({1, 0}, var("m"))));
+}
+
+TEST(Rename, RenamesFreeRespectsShadowing) {
+  // let x = a in x + a   with a -> b
+  ExprP e = let1("x", var("a"), add(var("x"), var("a")));
+  ExprP r = rename(e, {{"a", "b"}});
+  auto fv = free_vars(r);
+  EXPECT_TRUE(fv.count("b"));
+  EXPECT_FALSE(fv.count("a"));
+  // renaming a bound name has no effect inside its scope
+  ExprP r2 = rename(e, {{"x", "y"}});
+  EXPECT_EQ(pretty(r2), pretty(e));
+}
+
+TEST(Rename, SegSpaceArraysRenamed) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"xs"}, Dim::v("n")}};
+  so.body = var("x");
+  ExprP r = rename(mk(std::move(so)), {{"xs", "ys"}});
+  EXPECT_TRUE(free_vars(r).count("ys"));
+  EXPECT_FALSE(free_vars(r).count("xs"));
+}
+
+TEST(Subst, ReplacesVarWithExpression) {
+  ExprP e = add(var("a"), var("a"));
+  ExprP s = subst_vars(e, {{"a", mul(cf32(2), var("b"))}});
+  auto fv = free_vars(s);
+  EXPECT_TRUE(fv.count("b"));
+  EXPECT_FALSE(fv.count("a"));
+}
+
+TEST(Subst, BindersShadowSubstitution) {
+  ExprP e = let1("a", cf32(1), var("a"));
+  ExprP s = subst_vars(e, {{"a", var("b")}});
+  EXPECT_FALSE(free_vars(s).count("b"));
+}
+
+TEST(Counting, NodesAndSegops) {
+  ExprP e = add(cf32(1), mul(cf32(2), cf32(3)));
+  EXPECT_EQ(count_nodes(e), 5);
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"xs"}, Dim::v("n")}};
+  so.body = var("x");
+  EXPECT_EQ(count_segops(mk(std::move(so))), 1);
+  EXPECT_EQ(count_segops(e), 0);
+}
+
+TEST(Counting, CollectThresholdsInOrder) {
+  ExprP g2 = mk(ThresholdCmpE{"t1", SizeExpr::one(), SizeExpr{}});
+  ExprP g1 = mk(ThresholdCmpE{"t0", SizeExpr::one(), SizeExpr{}});
+  ExprP e = iff(g1, cf32(1), iff(g2, cf32(2), cf32(3)));
+  auto ts = collect_thresholds(e);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0], "t0");
+  EXPECT_EQ(ts[1], "t1");
+}
+
+TEST(Pretty, RoundTripsKeySyntax) {
+  ExprP e = map1(lam({p("x", Type::scalar(Scalar::F32))},
+                     add(var("x"), cf32(1))),
+                 var("xs"));
+  const std::string s = pretty(e);
+  EXPECT_NE(s.find("map"), std::string::npos);
+  EXPECT_NE(s.find("\\x ->"), std::string::npos);
+  EXPECT_NE(s.find("xs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incflat

@@ -1,0 +1,137 @@
+// Unit tests: types, symbolic dimensions, and the size algebra.
+#include <gtest/gtest.h>
+
+#include "src/ir/size.h"
+#include "src/ir/type.h"
+#include "src/support/error.h"
+
+namespace incflat {
+namespace {
+
+TEST(Dim, ConstAndVarEvaluation) {
+  const SizeEnv env{{"n", 7}};
+  EXPECT_EQ(Dim::c(5).eval(env), 5);
+  EXPECT_EQ(Dim::v("n").eval(env), 7);
+  EXPECT_THROW(Dim::v("missing").eval(env), EvalError);
+}
+
+TEST(Dim, Equality) {
+  EXPECT_EQ(Dim::c(3), Dim::c(3));
+  EXPECT_NE(Dim::c(3), Dim::c(4));
+  EXPECT_EQ(Dim::v("n"), Dim::v("n"));
+  EXPECT_NE(Dim::v("n"), Dim::v("m"));
+  EXPECT_NE(Dim::c(3), Dim::v("n"));
+}
+
+TEST(Dim, Printing) {
+  EXPECT_EQ(Dim::c(42).str(), "42");
+  EXPECT_EQ(Dim::v("numX").str(), "numX");
+}
+
+TEST(Type, ScalarBasics) {
+  const Type t = Type::scalar(Scalar::F32);
+  EXPECT_TRUE(t.is_scalar());
+  EXPECT_FALSE(t.is_array());
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.str(), "f32");
+}
+
+TEST(Type, ArrayShapeOperations) {
+  const Type t = Type::array(Scalar::F32, {Dim::v("n"), Dim::c(4)});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.str(), "[n][4]f32");
+  EXPECT_EQ(t.row(), Type::array(Scalar::F32, {Dim::c(4)}));
+  EXPECT_EQ(t.peel(2), Type::scalar(Scalar::F32));
+  EXPECT_EQ(t.peel(0), t);
+}
+
+TEST(Type, RowOfScalarThrows) {
+  EXPECT_THROW(Type::scalar(Scalar::I64).row(), CompilerError);
+}
+
+TEST(Type, ExpandPrependsOuterDims) {
+  const Type t = Type::array(Scalar::F32, {Dim::v("k")});
+  const Type e = t.expand({Dim::v("a"), Dim::v("b")});
+  EXPECT_EQ(e.str(), "[a][b][k]f32");
+}
+
+TEST(Type, CountMultipliesDims) {
+  const Type t = Type::array(Scalar::I32, {Dim::v("n"), Dim::c(3)});
+  EXPECT_EQ(t.count(SizeEnv{{"n", 5}}), 15);
+  EXPECT_EQ(Type::scalar(Scalar::I32).count({}), 1);
+}
+
+TEST(Scalar, NamesAndWidths) {
+  EXPECT_STREQ(scalar_name(Scalar::F32), "f32");
+  EXPECT_STREQ(scalar_name(Scalar::Bool), "bool");
+  EXPECT_EQ(scalar_bytes(Scalar::F32), 4);
+  EXPECT_EQ(scalar_bytes(Scalar::F64), 8);
+  EXPECT_EQ(scalar_bytes(Scalar::Bool), 1);
+  EXPECT_TRUE(scalar_is_float(Scalar::F64));
+  EXPECT_FALSE(scalar_is_float(Scalar::I32));
+  EXPECT_TRUE(scalar_is_int(Scalar::I64));
+}
+
+TEST(SizeProd, FoldsConstants) {
+  SizeProd p;
+  p *= Dim::c(4);
+  p *= Dim::v("n");
+  p *= Dim::c(2);
+  EXPECT_EQ(p.konst, 8);
+  EXPECT_EQ(p.vars.size(), 1u);
+  EXPECT_EQ(p.eval(SizeEnv{{"n", 3}}), 24);
+  EXPECT_EQ(p.str(), "8*n");
+}
+
+TEST(SizeProd, EqualityIsOrderInsensitive) {
+  SizeProd a, b;
+  a *= Dim::v("n");
+  a *= Dim::v("m");
+  b *= Dim::v("m");
+  b *= Dim::v("n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(SizeExpr, MaxSemantics) {
+  SizeExpr e = SizeExpr::of(Dim::v("n")).max_with(SizeExpr::of(Dim::v("m")));
+  EXPECT_EQ(e.eval(SizeEnv{{"n", 10}, {"m", 3}}), 10);
+  EXPECT_EQ(e.eval(SizeEnv{{"n", 2}, {"m", 30}}), 30);
+  EXPECT_EQ(e.str(), "max(n, m)");
+}
+
+TEST(SizeExpr, TimesDistributesOverMax) {
+  SizeExpr e = SizeExpr::of(Dim::v("n")).max_with(SizeExpr::of(Dim::v("m")));
+  SizeExpr scaled = e.times(SizeProd::of(Dim::c(2)));
+  EXPECT_EQ(scaled.eval(SizeEnv{{"n", 10}, {"m", 3}}), 20);
+}
+
+TEST(SizeExpr, EmptyIsOne) {
+  SizeExpr e;
+  EXPECT_EQ(e.eval({}), 1);
+  EXPECT_EQ(SizeExpr::one().eval({}), 1);
+}
+
+TEST(SizeExpr, MaxDeduplicatesAlternatives) {
+  SizeExpr a = SizeExpr::of(Dim::v("n"));
+  SizeExpr both = a.max_with(a);
+  EXPECT_EQ(both.alts.size(), 1u);
+}
+
+class SizeProdEval
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(SizeProdEval, ProductMatchesArithmetic) {
+  const auto [n, m] = GetParam();
+  SizeProd p;
+  p *= Dim::v("n");
+  p *= Dim::v("m");
+  EXPECT_EQ(p.eval(SizeEnv{{"n", n}, {"m", m}}), n * m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SizeProdEval,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 17, 1 << 20),
+                       ::testing::Values<int64_t>(1, 3, 255)));
+
+}  // namespace
+}  // namespace incflat

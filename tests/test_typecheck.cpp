@@ -1,0 +1,237 @@
+// Unit tests: type checker — positive annotation, each rejection path,
+// and the target-language level discipline.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/typecheck.h"
+#include "src/support/error.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+Type f32s() { return Type::scalar(Scalar::F32); }
+Type f32v(const char* d) { return Type::array(Scalar::F32, {Dim::v(d)}); }
+
+TEST(Typecheck, AnnotatesScalarExpression) {
+  ExprP e = typecheck_expr(add(cf32(1), cf32(2)), {});
+  EXPECT_EQ(e->type(), f32s());
+}
+
+TEST(Typecheck, VarLooksUpEnvironment) {
+  TypeEnv env{{"x", f32v("n")}};
+  ExprP e = typecheck_expr(var("x"), env);
+  EXPECT_EQ(e->type().str(), "[n]f32");
+}
+
+TEST(Typecheck, RejectsUnboundVariable) {
+  EXPECT_THROW(typecheck_expr(var("x"), {}), CompilerError);
+}
+
+TEST(Typecheck, RejectsMixedScalarBinop) {
+  EXPECT_THROW(typecheck_expr(add(cf32(1), ci64(2)), {}), CompilerError);
+}
+
+TEST(Typecheck, RejectsArithOnBool) {
+  EXPECT_THROW(typecheck_expr(add(cbool(true), cbool(false)), {}),
+               CompilerError);
+}
+
+TEST(Typecheck, RejectsLogicOnFloats) {
+  EXPECT_THROW(typecheck_expr(bin("&&", cf32(1), cf32(1)), {}),
+               CompilerError);
+}
+
+TEST(Typecheck, ComparisonYieldsBool) {
+  ExprP e = typecheck_expr(lt(cf32(1), cf32(2)), {});
+  EXPECT_EQ(e->type().elem, Scalar::Bool);
+}
+
+TEST(Typecheck, RejectsNonBoolCondition) {
+  EXPECT_THROW(typecheck_expr(iff(ci64(1), ci64(1), ci64(2)), {}),
+               CompilerError);
+}
+
+TEST(Typecheck, RejectsBranchTypeMismatch) {
+  EXPECT_THROW(typecheck_expr(iff(cbool(true), ci64(1), cf32(2)), {}),
+               CompilerError);
+}
+
+TEST(Typecheck, LetArityMustMatch) {
+  EXPECT_THROW(
+      typecheck_expr(letn({"a", "b"}, ci64(1), var("a")), {}),
+      CompilerError);
+}
+
+TEST(Typecheck, LoopBodyMustMatchParamTypes) {
+  // body yields f32 but the parameter is i64
+  ExprP bad = loop({"x"}, {ci64(0)}, "i", ci64(3), cf32(1));
+  EXPECT_THROW(typecheck_expr(bad, {}), CompilerError);
+}
+
+TEST(Typecheck, LoopCountMustBeInt) {
+  ExprP bad = loop({"x"}, {ci64(0)}, "i", cf32(3), var("x"));
+  EXPECT_THROW(typecheck_expr(bad, {}), CompilerError);
+}
+
+TEST(Typecheck, MapResultExpandsOuterDim) {
+  TypeEnv env{{"xs", f32v("n")}};
+  ExprP e = typecheck_expr(
+      map1(lam({p("x", f32s())}, mul(var("x"), var("x"))), var("xs")), env);
+  EXPECT_EQ(e->type().str(), "[n]f32");
+}
+
+TEST(Typecheck, MapRejectsScalarOperand) {
+  TypeEnv env{{"x", f32s()}};
+  EXPECT_THROW(
+      typecheck_expr(map1(lam({p("y", f32s())}, var("y")), var("x")), env),
+      CompilerError);
+}
+
+TEST(Typecheck, MapRejectsMismatchedOuterDims) {
+  TypeEnv env{{"xs", f32v("n")}, {"ys", f32v("m")}};
+  EXPECT_THROW(typecheck_expr(
+                   map(binlam("+", Scalar::F32), {var("xs"), var("ys")}),
+                   env),
+               CompilerError);
+}
+
+TEST(Typecheck, ReduceChecksOperatorShape) {
+  TypeEnv env{{"xs", f32v("n")}};
+  // Operator returning bool instead of f32.
+  Lambda bad = lam({p("a", f32s()), p("b", f32s())}, lt(var("a"), var("b")));
+  EXPECT_THROW(typecheck_expr(reduce(bad, {cf32(0)}, {var("xs")}), env),
+               CompilerError);
+}
+
+TEST(Typecheck, ReduceChecksNeutralType) {
+  TypeEnv env{{"xs", f32v("n")}};
+  EXPECT_THROW(typecheck_expr(reduce(binlam("+", Scalar::F32), {ci64(0)},
+                                     {var("xs")}),
+                              env),
+               CompilerError);
+}
+
+TEST(Typecheck, RedomapComposesMapAndReduceTypes) {
+  TypeEnv env{{"xs", f32v("n")}};
+  Lambda sq = lam({p("x", f32s())}, mul(var("x"), var("x")));
+  ExprP e = typecheck_expr(
+      redomap(binlam("+", Scalar::F32), sq, {cf32(0)}, {var("xs")}), env);
+  EXPECT_EQ(e->type(), f32s());
+}
+
+TEST(Typecheck, ScanPreservesShape) {
+  TypeEnv env{{"xs", f32v("n")}};
+  ExprP e = typecheck_expr(
+      scan(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")}), env);
+  EXPECT_EQ(e->type().str(), "[n]f32");
+}
+
+TEST(Typecheck, RearrangeChecksPermutation) {
+  TypeEnv env{{"m", Type::array(Scalar::F32, {Dim::v("a"), Dim::v("b")})}};
+  ExprP e = typecheck_expr(transpose(var("m")), env);
+  EXPECT_EQ(e->type().str(), "[b][a]f32");
+  EXPECT_THROW(typecheck_expr(rearrange({0, 0}, var("m")), env),
+               CompilerError);
+  EXPECT_THROW(typecheck_expr(rearrange({0}, var("m")), env), CompilerError);
+}
+
+TEST(Typecheck, IndexChecksRankAndIndexTypes) {
+  TypeEnv env{{"m", Type::array(Scalar::F32, {Dim::v("a"), Dim::v("b")})}};
+  EXPECT_EQ(typecheck_expr(index(var("m"), {ci64(0)}), env)->type().str(),
+            "[b]f32");
+  EXPECT_THROW(
+      typecheck_expr(index(var("m"), {ci64(0), ci64(0), ci64(0)}), env),
+      CompilerError);
+  EXPECT_THROW(typecheck_expr(index(var("m"), {cf32(0)}), env),
+               CompilerError);
+}
+
+TEST(Typecheck, SegOpSpaceMustMatchArrayDims) {
+  TypeEnv env{{"xss", Type::array(Scalar::F32, {Dim::v("a"), Dim::v("b")})}};
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("WRONG")}};
+  so.body = var("xs");
+  EXPECT_THROW(typecheck_expr(mk(std::move(so)), env), CompilerError);
+}
+
+TEST(Typecheck, SegRedDropsInnermostDim) {
+  TypeEnv env{{"xss", Type::array(Scalar::F32, {Dim::v("a"), Dim::v("b")})}};
+  SegOpE so;
+  so.op = SegOpE::Op::Red;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("a")},
+              SegBind{{"x"}, {"xs"}, Dim::v("b")}};
+  so.combine = binlam("+", Scalar::F32);
+  so.neutral = {cf32(0)};
+  so.body = var("x");
+  ExprP e = typecheck_expr(mk(std::move(so)), env);
+  EXPECT_EQ(e->type().str(), "[a]f32");
+}
+
+TEST(Typecheck, ProgramBindsSizeParamsAsI64) {
+  Program p;
+  p.name = "t";
+  p.inputs = {{"xs", f32v("n")}};
+  p.body = var("n");
+  p = typecheck_program(std::move(p));
+  EXPECT_EQ(p.body->type(), Type::scalar(Scalar::I64));
+}
+
+TEST(Typecheck, ExtraSizesAreBound) {
+  Program p;
+  p.name = "t";
+  p.inputs = {{"xs", f32v("n")}};
+  p.extra_sizes = {"steps"};
+  p.body = loop({"x"}, {cf32(0)}, "i", var("steps"),
+                add(var("x"), cf32(1)));
+  EXPECT_NO_THROW(typecheck_program(std::move(p)));
+}
+
+TEST(LevelDiscipline, RejectsLevel0ContainingParallel) {
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 0;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("n")}};
+  inner.body = var("x");
+  SegOpE outer;
+  outer.op = SegOpE::Op::Map;
+  outer.level = 0;
+  outer.space = {SegBind{{"xs"}, {"xss"}, Dim::v("m")}};
+  outer.body = mk(std::move(inner));
+  EXPECT_THROW(check_level_discipline(mk(std::move(outer))), CompilerError);
+}
+
+TEST(LevelDiscipline, AcceptsLevel1ContainingLevel0) {
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 0;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("n")}};
+  inner.body = var("x");
+  SegOpE outer;
+  outer.op = SegOpE::Op::Map;
+  outer.level = 1;
+  outer.space = {SegBind{{"xs"}, {"xss"}, Dim::v("m")}};
+  outer.body = mk(std::move(inner));
+  EXPECT_NO_THROW(check_level_discipline(mk(std::move(outer))));
+}
+
+TEST(LevelDiscipline, RejectsLevel1DirectlyInsideLevel1) {
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 1;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("n")}};
+  inner.body = var("x");
+  SegOpE outer;
+  outer.op = SegOpE::Op::Map;
+  outer.level = 1;
+  outer.space = {SegBind{{"xs"}, {"xss"}, Dim::v("m")}};
+  outer.body = mk(std::move(inner));
+  EXPECT_THROW(check_level_discipline(mk(std::move(outer))), CompilerError);
+}
+
+}  // namespace
+}  // namespace incflat

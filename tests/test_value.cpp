@@ -1,0 +1,140 @@
+// Unit tests: the interpreter's value model.
+#include <gtest/gtest.h>
+
+#include "src/interp/value.h"
+#include "src/support/error.h"
+
+namespace incflat {
+namespace {
+
+TEST(Value, ScalarConstruction) {
+  EXPECT_EQ(Value::i64(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::f32(1.5).as_float(), 1.5);
+  EXPECT_TRUE(Value::scalar_bool(true).as_bool());
+  EXPECT_FALSE(Value::scalar_bool(false).as_bool());
+}
+
+TEST(Value, ScalarAccessorsEnforceKinds) {
+  EXPECT_THROW(Value::f32(1.0).as_bool(), EvalError);
+  EXPECT_THROW(Value::zeros(Scalar::F32, {2}).as_float(), EvalError);
+}
+
+TEST(Value, ZerosShapeAndCount) {
+  Value v = Value::zeros(Scalar::F32, {2, 3});
+  EXPECT_EQ(v.rank(), 2);
+  EXPECT_EQ(v.count(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(v.fget(i), 0.0);
+}
+
+TEST(Value, RowCopiesCorrectSlice) {
+  Value v = Value::zeros(Scalar::I64, {2, 3});
+  for (int64_t i = 0; i < 6; ++i) v.iset(i, i * 10);
+  Value r1 = v.row(1);
+  ASSERT_EQ(r1.shape(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(r1.iget(0), 30);
+  EXPECT_EQ(r1.iget(2), 50);
+}
+
+TEST(Value, RowBoundsChecked) {
+  Value v = Value::zeros(Scalar::I64, {2});
+  EXPECT_THROW(v.row(2), EvalError);
+  EXPECT_THROW(v.row(-1), EvalError);
+  EXPECT_THROW(Value::i64(1).row(0), EvalError);
+}
+
+TEST(Value, StackRoundTripsRows) {
+  Value a = Value::zeros(Scalar::F32, {2});
+  a.fset(0, 1);
+  a.fset(1, 2);
+  Value b = Value::zeros(Scalar::F32, {2});
+  b.fset(0, 3);
+  b.fset(1, 4);
+  Value s = Value::stack({a, b});
+  ASSERT_EQ(s.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_TRUE(s.row(0).approx_equal(a));
+  EXPECT_TRUE(s.row(1).approx_equal(b));
+}
+
+TEST(Value, StackRejectsIrregular) {
+  Value a = Value::zeros(Scalar::F32, {2});
+  Value b = Value::zeros(Scalar::F32, {3});
+  EXPECT_THROW(Value::stack({a, b}), EvalError);
+  EXPECT_THROW(Value::stack({}), EvalError);
+}
+
+TEST(Value, IndexPeelsDimensions) {
+  Value v = Value::zeros(Scalar::I64, {2, 2});
+  v.iset(3, 99);
+  EXPECT_EQ(v.index({1, 1}).as_int(), 99);
+  EXPECT_EQ(v.index({1}).shape(), (std::vector<int64_t>{2}));
+}
+
+TEST(Value, RearrangeTransposes) {
+  Value v = Value::zeros(Scalar::I64, {2, 3});
+  for (int64_t i = 0; i < 6; ++i) v.iset(i, i);
+  Value t = v.rearrange({1, 0});
+  ASSERT_EQ(t.shape(), (std::vector<int64_t>{3, 2}));
+  // element (r, c) of the transpose equals element (c, r) of the original
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(t.index({r, c}).as_int(), v.index({c, r}).as_int());
+    }
+  }
+}
+
+TEST(Value, Rearrange3dPermutation) {
+  Value v = Value::zeros(Scalar::F32, {2, 3, 4});
+  for (int64_t i = 0; i < 24; ++i) v.fset(i, static_cast<double>(i));
+  Value p = v.rearrange({2, 0, 1});
+  ASSERT_EQ(p.shape(), (std::vector<int64_t>{4, 2, 3}));
+  for (int64_t a = 0; a < 2; ++a) {
+    for (int64_t b = 0; b < 3; ++b) {
+      for (int64_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(p.index({c, a, b}).as_float(),
+                  v.index({a, b, c}).as_float());
+      }
+    }
+  }
+}
+
+TEST(Value, ApproxEqualToleratesRoundoff) {
+  Value a = Value::f32(1.0);
+  Value b = Value::f32(1.0 + 1e-7);
+  EXPECT_TRUE(a.approx_equal(b));
+  EXPECT_FALSE(a.approx_equal(Value::f32(1.1)));
+}
+
+TEST(Value, ApproxEqualIsRelativeForLargeMagnitudes) {
+  Value a = Value::f32(1e10);
+  Value b = Value::f32(1e10 * (1 + 1e-7));
+  EXPECT_TRUE(a.approx_equal(b));
+}
+
+TEST(Value, ApproxEqualRejectsShapeMismatch) {
+  EXPECT_FALSE(Value::zeros(Scalar::F32, {2})
+                   .approx_equal(Value::zeros(Scalar::F32, {3})));
+  EXPECT_FALSE(Value::zeros(Scalar::F32, {2})
+                   .approx_equal(Value::zeros(Scalar::I64, {2})));
+}
+
+TEST(Value, SetRowWritesInPlace) {
+  Value v = Value::zeros(Scalar::F32, {2, 2});
+  Value r = Value::zeros(Scalar::F32, {2});
+  r.fset(0, 5);
+  r.fset(1, 6);
+  v.set_row(1, r);
+  EXPECT_EQ(v.index({1, 0}).as_float(), 5);
+  EXPECT_EQ(v.index({1, 1}).as_float(), 6);
+  EXPECT_EQ(v.index({0, 0}).as_float(), 0);
+}
+
+TEST(Value, StrIsHumanReadable) {
+  Value v = Value::zeros(Scalar::I64, {2});
+  v.iset(0, 1);
+  v.iset(1, 2);
+  EXPECT_EQ(v.str(), "[1, 2]");
+  EXPECT_EQ(Value::scalar_bool(true).str(), "true");
+}
+
+}  // namespace
+}  // namespace incflat

@@ -1,0 +1,234 @@
+// incflatc — command-line driver for the incremental-flattening pipeline.
+//
+//   incflatc --list
+//   incflatc --benchmark matmul --mode incremental --print-ir --tree
+//   incflatc --benchmark LocVolCalib --device vega64 --dataset small
+//   incflatc --benchmark Heston --device k40 --tune --out heston.tuning
+//   incflatc --benchmark Heston --device k40 --dataset D1 \
+//            --tuning heston.tuning --json
+//
+// This is the "downstream user" entry point: compile a benchmark (or all of
+// them), inspect the generated multi-versioned code and its branching tree,
+// autotune, persist/load `.tuning` files, and price datasets on the two
+// simulated device profiles.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/autotune/autotune.h"
+#include "src/autotune/tuning_file.h"
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/ir/print.h"
+#include "src/ir/traverse.h"
+#include "src/support/json.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+
+namespace incflat {
+namespace {
+
+struct Options {
+  std::string benchmark;
+  std::string mode = "incremental";
+  std::string device = "k40";
+  std::string dataset;
+  std::string tuning_in;
+  std::string tuning_out;
+  bool list = false;
+  bool print_ir = false;
+  bool print_tree = false;
+  bool tune = false;
+  bool exhaustive = false;
+  bool json = false;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: incflatc [options]\n"
+      "  --list                      list benchmarks and datasets\n"
+      "  --benchmark NAME            select a benchmark\n"
+      "  --mode M                    moderate | incremental | full\n"
+      "  --device D                  k40 | vega64\n"
+      "  --dataset NAME              simulate one evaluation dataset\n"
+      "  --tune                      autotune on the training datasets\n"
+      "  --exhaustive                use the branch-complete tuner\n"
+      "  --tuning FILE               load thresholds from a .tuning file\n"
+      "  --out FILE                  write tuned thresholds to FILE\n"
+      "  --print-ir                  print the flattened program\n"
+      "  --tree                      print the threshold branching tree\n"
+      "  --json                      machine-readable output\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--list") {
+      o.list = true;
+    } else if (a == "--benchmark") {
+      if (const char* v = next()) o.benchmark = v; else return std::nullopt;
+    } else if (a == "--mode") {
+      if (const char* v = next()) o.mode = v; else return std::nullopt;
+    } else if (a == "--device") {
+      if (const char* v = next()) o.device = v; else return std::nullopt;
+    } else if (a == "--dataset") {
+      if (const char* v = next()) o.dataset = v; else return std::nullopt;
+    } else if (a == "--tuning") {
+      if (const char* v = next()) o.tuning_in = v; else return std::nullopt;
+    } else if (a == "--out") {
+      if (const char* v = next()) o.tuning_out = v; else return std::nullopt;
+    } else if (a == "--tune") {
+      o.tune = true;
+    } else if (a == "--exhaustive") {
+      o.exhaustive = true;
+    } else if (a == "--print-ir") {
+      o.print_ir = true;
+    } else if (a == "--tree") {
+      o.print_tree = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+int run(const Options& o) {
+  if (o.list) {
+    Table t({"benchmark", "datasets", "training sets", "reference"});
+    for (const auto& name : all_benchmark_names()) {
+      Benchmark b = get_benchmark(name);
+      t.row({b.name,
+             join_map(b.datasets, ",",
+                      [](const BenchDataset& d) { return d.name; }),
+             join_map(b.tuning, ",",
+                      [](const BenchDataset& d) { return d.name; }),
+             b.reference_name.empty() ? "-" : b.reference_name});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  if (o.benchmark.empty()) return usage();
+  Benchmark b = get_benchmark(o.benchmark);
+
+  FlattenMode mode = FlattenMode::Incremental;
+  if (o.mode == "moderate") mode = FlattenMode::Moderate;
+  else if (o.mode == "full") mode = FlattenMode::Full;
+  else if (o.mode != "incremental") return usage();
+
+  DeviceProfile dev = o.device == "vega64" ? device_vega64() : device_k40();
+  if (o.device != "vega64" && o.device != "k40") return usage();
+
+  FlattenOptions fo;
+  fo.fuse = mode != FlattenMode::Moderate || b.fuse_moderate;
+  FlattenResult fr = flatten(b.program, mode, fo);
+
+  if (o.print_ir) {
+    std::cout << pretty(fr.program);
+  }
+  if (o.print_tree) {
+    std::cout << "branching tree (" << fr.thresholds.size()
+              << " thresholds):\n"
+              << fr.thresholds.tree_str();
+  }
+
+  ThresholdEnv thresholds;
+  if (!o.tuning_in.empty()) thresholds = load_tuning(o.tuning_in);
+
+  if (o.tune) {
+    std::vector<TuningDataset> train;
+    for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
+    TuningReport rep =
+        o.exhaustive
+            ? exhaustive_tune(dev, fr.program, fr.thresholds, train)
+            : autotune(dev, fr.program, fr.thresholds, train);
+    thresholds = rep.best;
+    std::cout << "tuned on " << train.size() << " datasets: "
+              << fmt_us(rep.default_cost_us) << " -> "
+              << fmt_us(rep.best_cost_us) << " (" << rep.evaluations
+              << " evaluations, " << rep.dedup_hits << " dedup hits)\n";
+    if (!o.tuning_out.empty()) {
+      save_tuning(o.tuning_out, thresholds);
+      std::cout << "wrote " << o.tuning_out << "\n";
+    }
+  }
+
+  if (!o.dataset.empty()) {
+    const BenchDataset* ds = nullptr;
+    for (const auto& d : b.datasets) {
+      if (d.name == o.dataset) ds = &d;
+    }
+    for (const auto& d : b.tuning) {
+      if (d.name == o.dataset) ds = &d;
+    }
+    if (!ds) {
+      std::cerr << "unknown dataset " << o.dataset << "\n";
+      return 2;
+    }
+    RunEstimate est = estimate_run(dev, fr.program, ds->sizes, thresholds);
+    if (o.json) {
+      Json j = Json::object();
+      j.set("benchmark", b.name)
+          .set("mode", mode_name(mode))
+          .set("device", dev.name)
+          .set("dataset", ds->name)
+          .set("time_us", est.time_us)
+          .set("kernel_launches", est.kernel_launches)
+          .set("global_bytes", est.total.gbytes)
+          .set("local_bytes", est.total.lbytes)
+          .set("flops", est.total.flops);
+      Json guards = Json::array();
+      for (const auto& [name, taken] : est.guards) {
+        guards.push(Json::object().set("threshold", name).set("taken", taken));
+      }
+      j.set("guards", std::move(guards));
+      Json kernels = Json::array();
+      for (const auto& k : est.kernels) {
+        kernels.push(Json::object()
+                         .set("kind", k.what)
+                         .set("time_us", k.time_us)
+                         .set("threads", k.threads)
+                         .set("fallback", k.used_local_fallback));
+      }
+      j.set("kernels", std::move(kernels));
+      std::cout << j.str() << "\n";
+    } else {
+      std::cout << b.name << "/" << ds->name << " on " << dev.name << " ("
+                << mode_name(mode) << "): " << estimate_str(est) << "\n";
+      for (const auto& [name, taken] : est.guards) {
+        std::cout << "  guard " << name << " -> " << (taken ? "T" : "F")
+                  << "\n";
+      }
+      for (const auto& k : est.kernels) {
+        std::cout << "  kernel " << k.what << "  " << fmt_us(k.time_us)
+                  << "  threads=" << k.threads
+                  << (k.used_local_fallback ? "  [local-mem fallback]" : "")
+                  << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace incflat
+
+int main(int argc, char** argv) {
+  auto opts = incflat::parse(argc, argv);
+  if (!opts) return incflat::usage();
+  try {
+    return incflat::run(*opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
