@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codesize.dir/ablation_codesize.cpp.o"
+  "CMakeFiles/ablation_codesize.dir/ablation_codesize.cpp.o.d"
+  "ablation_codesize"
+  "ablation_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

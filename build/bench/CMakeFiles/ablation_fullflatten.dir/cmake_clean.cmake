@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fullflatten.dir/ablation_fullflatten.cpp.o"
+  "CMakeFiles/ablation_fullflatten.dir/ablation_fullflatten.cpp.o.d"
+  "ablation_fullflatten"
+  "ablation_fullflatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fullflatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_matmul.dir/fig2_matmul.cpp.o"
+  "CMakeFiles/fig2_matmul.dir/fig2_matmul.cpp.o.d"
+  "fig2_matmul"
+  "fig2_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

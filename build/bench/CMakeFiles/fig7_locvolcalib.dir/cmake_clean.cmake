@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_locvolcalib.dir/fig7_locvolcalib.cpp.o"
+  "CMakeFiles/fig7_locvolcalib.dir/fig7_locvolcalib.cpp.o.d"
+  "fig7_locvolcalib"
+  "fig7_locvolcalib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_locvolcalib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

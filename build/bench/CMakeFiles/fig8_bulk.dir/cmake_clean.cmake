@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bulk.dir/fig8_bulk.cpp.o"
+  "CMakeFiles/fig8_bulk.dir/fig8_bulk.cpp.o.d"
+  "fig8_bulk"
+  "fig8_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

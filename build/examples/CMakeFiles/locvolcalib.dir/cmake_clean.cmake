@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locvolcalib.dir/locvolcalib.cpp.o"
+  "CMakeFiles/locvolcalib.dir/locvolcalib.cpp.o.d"
+  "locvolcalib"
+  "locvolcalib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locvolcalib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/autotune.cpp" "src/CMakeFiles/incflat.dir/autotune/autotune.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/autotune/autotune.cpp.o.d"
+  "/root/repo/src/autotune/tuning_file.cpp" "src/CMakeFiles/incflat.dir/autotune/tuning_file.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/autotune/tuning_file.cpp.o.d"
+  "/root/repo/src/benchsuite/prog_financial.cpp" "src/CMakeFiles/incflat.dir/benchsuite/prog_financial.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/prog_financial.cpp.o.d"
+  "/root/repo/src/benchsuite/prog_locvolcalib.cpp" "src/CMakeFiles/incflat.dir/benchsuite/prog_locvolcalib.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/prog_locvolcalib.cpp.o.d"
+  "/root/repo/src/benchsuite/prog_matmul.cpp" "src/CMakeFiles/incflat.dir/benchsuite/prog_matmul.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/prog_matmul.cpp.o.d"
+  "/root/repo/src/benchsuite/prog_rodinia1.cpp" "src/CMakeFiles/incflat.dir/benchsuite/prog_rodinia1.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/prog_rodinia1.cpp.o.d"
+  "/root/repo/src/benchsuite/prog_rodinia2.cpp" "src/CMakeFiles/incflat.dir/benchsuite/prog_rodinia2.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/prog_rodinia2.cpp.o.d"
+  "/root/repo/src/benchsuite/reference.cpp" "src/CMakeFiles/incflat.dir/benchsuite/reference.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/reference.cpp.o.d"
+  "/root/repo/src/benchsuite/registry.cpp" "src/CMakeFiles/incflat.dir/benchsuite/registry.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/benchsuite/registry.cpp.o.d"
+  "/root/repo/src/exec/exec.cpp" "src/CMakeFiles/incflat.dir/exec/exec.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/exec/exec.cpp.o.d"
+  "/root/repo/src/flatten/flatten.cpp" "src/CMakeFiles/incflat.dir/flatten/flatten.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/flatten/flatten.cpp.o.d"
+  "/root/repo/src/flatten/fusion.cpp" "src/CMakeFiles/incflat.dir/flatten/fusion.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/flatten/fusion.cpp.o.d"
+  "/root/repo/src/flatten/normalize.cpp" "src/CMakeFiles/incflat.dir/flatten/normalize.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/flatten/normalize.cpp.o.d"
+  "/root/repo/src/flatten/thresholds.cpp" "src/CMakeFiles/incflat.dir/flatten/thresholds.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/flatten/thresholds.cpp.o.d"
+  "/root/repo/src/flatten/tiling.cpp" "src/CMakeFiles/incflat.dir/flatten/tiling.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/flatten/tiling.cpp.o.d"
+  "/root/repo/src/gpusim/cost.cpp" "src/CMakeFiles/incflat.dir/gpusim/cost.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/gpusim/cost.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/incflat.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/incflat.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/interp/value.cpp" "src/CMakeFiles/incflat.dir/interp/value.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/interp/value.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/incflat.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/incflat.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/CMakeFiles/incflat.dir/ir/print.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/print.cpp.o.d"
+  "/root/repo/src/ir/size.cpp" "src/CMakeFiles/incflat.dir/ir/size.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/size.cpp.o.d"
+  "/root/repo/src/ir/traverse.cpp" "src/CMakeFiles/incflat.dir/ir/traverse.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/traverse.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/incflat.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/typecheck.cpp" "src/CMakeFiles/incflat.dir/ir/typecheck.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/ir/typecheck.cpp.o.d"
+  "/root/repo/src/support/chart.cpp" "src/CMakeFiles/incflat.dir/support/chart.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/support/chart.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/CMakeFiles/incflat.dir/support/json.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/support/json.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/incflat.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/support/str.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/incflat.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/incflat.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchsuite.dir/test_benchsuite.cpp.o"
+  "CMakeFiles/test_benchsuite.dir/test_benchsuite.cpp.o.d"
+  "test_benchsuite"
+  "test_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deepnest.dir/test_deepnest.cpp.o"
+  "CMakeFiles/test_deepnest.dir/test_deepnest.cpp.o.d"
+  "test_deepnest"
+  "test_deepnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deepnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flatten_smoke.dir/test_flatten_smoke.cpp.o"
+  "CMakeFiles/test_flatten_smoke.dir/test_flatten_smoke.cpp.o.d"
+  "test_flatten_smoke"
+  "test_flatten_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flatten_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_print.dir/test_print.cpp.o"
+  "CMakeFiles/test_print.dir/test_print.cpp.o.d"
+  "test_print"
+  "test_print.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_print.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traverse.dir/test_traverse.cpp.o"
+  "CMakeFiles/test_traverse.dir/test_traverse.cpp.o.d"
+  "test_traverse"
+  "test_traverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type.dir/test_type.cpp.o"
+  "CMakeFiles/test_type.dir/test_type.cpp.o.d"
+  "test_type"
+  "test_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incflatc.dir/incflatc.cpp.o"
+  "CMakeFiles/incflatc.dir/incflatc.cpp.o.d"
+  "incflatc"
+  "incflatc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incflatc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
