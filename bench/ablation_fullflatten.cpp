@@ -30,9 +30,11 @@ int run() {
   for (const auto& base : bulk_benchmarks()) {
     FlattenResult inc = flatten(base.program, FlattenMode::Incremental);
     FlattenResult full = flatten(base.program, FlattenMode::Full);
+    const KernelPlan inc_plan = build_kernel_plan(inc.program);
+    const KernelPlan full_plan = build_kernel_plan(full.program);
     for (const auto& d : base.datasets) {
-      const double ti = estimate_run(dev, inc.program, d.sizes, {}).time_us;
-      const double tf = estimate_run(dev, full.program, d.sizes, {}).time_us;
+      const double ti = bench::sim(inc_plan, dev, d.sizes).time_us;
+      const double tf = bench::sim(full_plan, dev, d.sizes).time_us;
       tab.row({base.name, d.name, fmt_double(ti, 1), fmt_double(tf, 1),
                fmt_double(tf / ti, 2)});
       ratios.push_back(tf / ti);

@@ -29,6 +29,8 @@ int run() {
 
   FlattenResult mf = flatten(b.program, FlattenMode::Moderate);
   FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
+  const KernelPlan mf_plan = build_kernel_plan(mf.program);
+  const KernelPlan inc_plan = build_kernel_plan(inc.program);
 
   // Train on the k=20 sweep (paper Sec. 2.2).
   std::vector<TuningDataset> train;
@@ -50,9 +52,9 @@ int run() {
       for (int n = 0; n <= 10; ++n) {
         if (k_total - 2 * n < 0) break;
         const SizeEnv sz = mm_sizes(n, k_total);
-        const double m = estimate_run(dev, mf.program, sz, {}).time_us;
-        const double u = estimate_run(dev, inc.program, sz, {}).time_us;
-        const double a = estimate_run(dev, inc.program, sz, rep.best).time_us;
+        const double m = bench::sim(mf_plan, dev, sz).time_us;
+        const double u = bench::sim(inc_plan, dev, sz).time_us;
+        const double a = bench::sim(inc_plan, dev, sz, rep.best).time_us;
         const double r =
             reference_gemm(dev, sz.at("n"), sz.at("m"), sz.at("k"));
         mf_t.push_back(m);

@@ -22,12 +22,10 @@ int run() {
     Table tab({"dataset", "MF(us)", "IF", "AIF", "FinPar-Out", "FinPar-All"});
     std::map<std::string, std::map<std::string, double>> sp;
     for (const auto& d : t.bench.datasets) {
-      const double mf =
-          estimate_run(dev, t.moderate.program, d.sizes, {}).time_us;
-      const double un =
-          estimate_run(dev, t.incremental.program, d.sizes, {}).time_us;
-      const double aif = estimate_run(dev, t.incremental.program, d.sizes,
-                                      t.tuned.at(dev.name))
+      const double mf = bench::sim(t.plan_moderate, dev, d.sizes).time_us;
+      const double un = bench::sim(t.plan_incremental, dev, d.sizes).time_us;
+      const double aif = bench::sim(t.plan_incremental, dev, d.sizes,
+                                    t.tuned.at(dev.name))
                              .time_us;
       const double fo = reference_finpar_out(dev, d.sizes);
       const double fa = reference_finpar_all(dev, d.sizes);
@@ -64,9 +62,9 @@ int run() {
   // large dataset on K40 (outer parallelism, sequential tridag).
   {
     const DeviceProfile k40 = device_k40();
-    RunEstimate big = estimate_run(device_k40(), t.incremental.program,
-                                   t.bench.datasets[2].sizes,
-                                   t.tuned.at("k40"));
+    RunEstimate big = bench::sim(t.plan_incremental, device_k40(),
+                                 t.bench.datasets[2].sizes,
+                                 t.tuned.at("k40"));
     bool intra = false;
     for (const auto& k : big.kernels) {
       intra |= k.what.find("intra") != std::string::npos;
@@ -74,9 +72,9 @@ int run() {
     checks.expect(!intra,
                   "k40/large: tuned program selects the sequential-tridag "
                   "version (no intra-group kernels)");
-    RunEstimate v = estimate_run(device_vega64(), t.incremental.program,
-                                 t.bench.datasets[0].sizes,
-                                 t.tuned.at("vega64"));
+    RunEstimate v = bench::sim(t.plan_incremental, device_vega64(),
+                               t.bench.datasets[0].sizes,
+                               t.tuned.at("vega64"));
     bool intra_v = false;
     for (const auto& k : v.kernels) {
       intra_v |= k.what.find("intra") != std::string::npos;

@@ -25,12 +25,11 @@ int run() {
     for (const auto& base : bulk_benchmarks()) {
       bench::TunedBench t = prepare(base, {dev});
       for (const auto& d : t.bench.datasets) {
-        const double mf =
-            estimate_run(dev, t.moderate.program, d.sizes, {}).time_us;
+        const double mf = bench::sim(t.plan_moderate, dev, d.sizes).time_us;
         const double un =
-            estimate_run(dev, t.incremental.program, d.sizes, {}).time_us;
-        const double aif = estimate_run(dev, t.incremental.program, d.sizes,
-                                        t.tuned.at(dev.name))
+            bench::sim(t.plan_incremental, dev, d.sizes).time_us;
+        const double aif = bench::sim(t.plan_incremental, dev, d.sizes,
+                                      t.tuned.at(dev.name))
                                .time_us;
         const double ref =
             t.bench.reference ? t.bench.reference(dev, d.sizes) : -1;
@@ -70,11 +69,11 @@ int run() {
       bench::TunedBench t = prepare(get_benchmark(name), {dev});
       const auto& d = t.bench.datasets[static_cast<size_t>(ds)];
       if (tuned_aif) {
-        return estimate_run(dev, t.incremental.program, d.sizes,
-                            t.tuned.at(dev.name))
+        return bench::sim(t.plan_incremental, dev, d.sizes,
+                          t.tuned.at(dev.name))
             .time_us;
       }
-      return estimate_run(dev, t.moderate.program, d.sizes, {}).time_us;
+      return bench::sim(t.plan_moderate, dev, d.sizes).time_us;
     };
     auto ref_of = [&](const char* name, int ds) {
       Benchmark b = get_benchmark(name);

@@ -16,20 +16,33 @@
 #include "src/benchsuite/benchmark.h"
 #include "src/exec/exec.h"
 #include "src/flatten/flatten.h"
+#include "src/plan/plan.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 
 namespace incflat::bench {
 
-/// A compiled benchmark with tuned thresholds per device.
+/// A compiled benchmark with tuned thresholds per device.  Each flattening
+/// mode carries its compile-once kernel plan; all pricing below goes
+/// through the plans (bit-identical to the legacy IR walker).
 struct TunedBench {
   Benchmark bench;
   FlattenResult moderate;
   FlattenResult incremental;
   FlattenResult full;
+  KernelPlan plan_moderate;
+  KernelPlan plan_incremental;
+  KernelPlan plan_full;
   std::map<std::string, ThresholdEnv> tuned;  // device name -> thresholds
   std::map<std::string, TuningReport> reports;
 };
+
+/// Price one run via a kernel plan (one-off query; the tuner reuses
+/// per-dataset caches internally instead).
+inline RunEstimate sim(const KernelPlan& plan, const DeviceProfile& dev,
+                       const SizeEnv& sizes, const ThresholdEnv& thr = {}) {
+  return plan_estimate_run(plan, dev, sizes, thr);
+}
 
 /// Compile + autotune a benchmark for the given devices.  `exhaustive`
 /// uses the branch-complete oracle search (fast here because runs are
@@ -44,6 +57,9 @@ inline TunedBench prepare(const Benchmark& b,
   t.moderate = flatten(b.program, FlattenMode::Moderate, mf_opts);
   t.incremental = flatten(b.program, FlattenMode::Incremental);
   t.full = flatten(b.program, FlattenMode::Full);
+  t.plan_moderate = build_kernel_plan(t.moderate.program);
+  t.plan_incremental = build_kernel_plan(t.incremental.program);
+  t.plan_full = build_kernel_plan(t.full.program);
   std::vector<TuningDataset> train;
   for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
   for (const auto& dev : devices) {

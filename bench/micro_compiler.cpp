@@ -10,6 +10,7 @@
 #include "src/flatten/fusion.h"
 #include "src/flatten/normalize.h"
 #include "src/ir/typecheck.h"
+#include "src/plan/plan.h"
 
 namespace incflat {
 namespace {
@@ -81,6 +82,27 @@ void BM_CostModel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostModel);
+
+void BM_PlanBuild(benchmark::State& state) {
+  FlattenResult inc = flatten(lvc().program, FlattenMode::Incremental);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_kernel_plan(inc.program));
+  }
+}
+BENCHMARK(BM_PlanBuild);
+
+void BM_PlanEstimate(benchmark::State& state) {
+  FlattenResult inc = flatten(lvc().program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = lvc().datasets[0].sizes;
+  const KernelPlan plan = build_kernel_plan(inc.program);
+  const PlanDatasetCache cache(plan, dev, sizes);
+  const ThresholdEnv thr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_cost(plan, cache, thr));
+  }
+}
+BENCHMARK(BM_PlanEstimate);
 
 void BM_AutotuneStochastic(benchmark::State& state) {
   FlattenResult inc = flatten(lvc().program, FlattenMode::Incremental);

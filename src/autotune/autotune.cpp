@@ -3,15 +3,33 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "src/plan/plan.h"
 #include "src/support/error.h"
+#include "src/support/pool.h"
 #include "src/support/rng.h"
 
 namespace incflat {
 
 namespace {
+
+ThresholdEnv to_env(const std::map<std::string, int64_t>& assignment,
+                    int64_t default_value) {
+  ThresholdEnv env;
+  env.values = assignment;
+  env.default_threshold = default_value;
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy evaluation: IR walk per candidate, string dedup keys from the
+// threshold registry.  Kept as the debug oracle behind TunerOptions::use_plan
+// and as the fallback for programs the plan builder cannot lower.
+// ---------------------------------------------------------------------------
 
 /// Dedup key: the concatenated path signatures of all datasets.  Two
 /// assignments with equal keys drive every dataset through the same code
@@ -31,15 +49,7 @@ std::string signature_key(const ThresholdRegistry& reg,
   return key;
 }
 
-ThresholdEnv to_env(const std::map<std::string, int64_t>& assignment,
-                    int64_t default_value) {
-  ThresholdEnv env;
-  env.values = assignment;
-  env.default_threshold = default_value;
-  return env;
-}
-
-struct Memoizer {
+struct WalkMemoizer {
   const DeviceProfile& dev;
   const Program& p;
   const ThresholdRegistry& reg;
@@ -65,30 +75,90 @@ struct Memoizer {
   }
 };
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Plan-based evaluation: the program is lowered once, each dataset's sizes
+// are swept through the cost arena once, and every candidate afterwards is
+// a decision-tree descent.  Dedup keys are the concatenated guard-path
+// bitsets of all datasets, read off the same descent.
+// ---------------------------------------------------------------------------
 
-double tuning_cost(const DeviceProfile& dev, const Program& p,
-                   const std::vector<TuningDataset>& datasets,
-                   const ThresholdEnv& thresholds) {
-  double total = 0;
-  for (const auto& d : datasets) {
-    total += d.weight * estimate_run(dev, p, d.sizes, thresholds).time_us;
+struct PlanEval {
+  KernelPlan plan;
+  std::vector<std::unique_ptr<PlanDatasetCache>> caches;
+  const std::vector<TuningDataset>* datasets = nullptr;
+  int64_t default_value = 0;
+
+  bool ok() const { return !plan.legacy_fallback; }
+
+  static PlanEval build(const DeviceProfile& dev, const Program& p,
+                        const std::vector<TuningDataset>& datasets,
+                        int64_t default_value, WorkerPool& pool) {
+    PlanEval ev;
+    ev.plan = build_kernel_plan(p);
+    ev.datasets = &datasets;
+    ev.default_value = default_value;
+    if (!ev.plan.legacy_fallback) {
+      // Warm the per-dataset caches concurrently: each is one independent
+      // forward sweep over the arena plus kernel pricing.
+      ev.caches.resize(datasets.size());
+      pool.run(static_cast<int>(datasets.size()), [&](int i) {
+        ev.caches[static_cast<size_t>(i)] = std::make_unique<PlanDatasetCache>(
+            ev.plan, dev, datasets[static_cast<size_t>(i)].sizes);
+      });
+    }
+    return ev;
   }
-  return total;
-}
 
-TuningReport autotune(const DeviceProfile& dev, const Program& p,
-                      const ThresholdRegistry& reg,
-                      const std::vector<TuningDataset>& datasets,
-                      const TunerOptions& opts) {
-  TuningReport rep;
-  Memoizer memo{dev, p, reg, datasets, opts.default_threshold, {}, 0, 0};
+  /// Dedup key of an assignment across all datasets.
+  std::vector<uint64_t> key(const ThresholdEnv& env) const {
+    std::vector<uint64_t> k;
+    for (const auto& c : caches) {
+      const PathSig s = plan_signature(plan, *c, env);
+      k.insert(k.end(), s.bits.begin(), s.bits.end());
+    }
+    return k;
+  }
 
-  // LogIntegerParameter view: the search works on exponents, so halving and
-  // doubling a threshold are steps of equal magnitude.
-  std::vector<std::string> names;
-  for (const auto& ti : reg.all()) names.push_back(ti.name);
+  /// Weighted-sum cost; the same accumulation order as tuning_cost, and
+  /// plan_cost is bit-identical to estimate_run().time_us, so this equals
+  /// the legacy cost exactly.
+  double cost(const ThresholdEnv& env) const {
+    double total = 0;
+    for (size_t i = 0; i < caches.size(); ++i) {
+      total += (*datasets)[i].weight * plan_cost(plan, *caches[i], env);
+    }
+    return total;
+  }
+};
 
+struct PlanMemoizer {
+  const PlanEval& ev;
+  std::map<std::vector<uint64_t>, double> cache;
+  int evaluations = 0;
+  int dedup_hits = 0;
+
+  double cost(const std::map<std::string, int64_t>& assignment) {
+    const ThresholdEnv env = to_env(assignment, ev.default_value);
+    std::vector<uint64_t> k = ev.key(env);
+    auto it = cache.find(k);
+    if (it != cache.end()) {
+      ++dedup_hits;
+      return it->second;
+    }
+    ++evaluations;
+    const double c = ev.cost(env);
+    cache.emplace(std::move(k), c);
+    return c;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Search (shared between both evaluation back ends).
+// ---------------------------------------------------------------------------
+
+template <class Memo>
+void stochastic_search(Memo& memo, const std::vector<std::string>& names,
+                       const TunerOptions& opts, TuningReport& rep) {
   std::map<std::string, int64_t> incumbent;  // empty = all defaults
   double best = memo.cost(incumbent);
   rep.default_cost_us = best;
@@ -104,8 +174,8 @@ TuningReport autotune(const DeviceProfile& dev, const Program& p,
       return a;
     };
     auto mutate = [&](std::map<std::string, int64_t> a) {
-      const int n_mut =
-          static_cast<int>(rng.uniform_int(1, std::max<size_t>(names.size() / 2, 1)));
+      const int n_mut = static_cast<int>(
+          rng.uniform_int(1, std::max<size_t>(names.size() / 2, 1)));
       for (int k = 0; k < n_mut; ++k) {
         const auto& n = names[static_cast<size_t>(
             rng.uniform_int(0, static_cast<int64_t>(names.size()) - 1))];
@@ -137,16 +207,72 @@ TuningReport autotune(const DeviceProfile& dev, const Program& p,
   rep.best_cost_us = best;
   rep.evaluations = memo.evaluations;
   rep.dedup_hits = memo.dedup_hits;
+}
+
+/// All full assignments of `cands` values to `names`, in the legacy
+/// recursive enumeration order (innermost name varies fastest).
+std::vector<std::map<std::string, int64_t>> enumerate_assignments(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<int64_t>>& cands) {
+  std::vector<std::map<std::string, int64_t>> all;
+  std::map<std::string, int64_t> current;
+  std::function<void(size_t)> go = [&](size_t i) {
+    if (i == names.size()) {
+      all.push_back(current);
+      return;
+    }
+    for (int64_t v : cands[i]) {
+      current[names[i]] = v;
+      go(i + 1);
+    }
+    current.erase(names[i]);
+  };
+  go(0);
+  return all;
+}
+
+}  // namespace
+
+double tuning_cost(const DeviceProfile& dev, const Program& p,
+                   const std::vector<TuningDataset>& datasets,
+                   const ThresholdEnv& thresholds) {
+  double total = 0;
+  for (const auto& d : datasets) {
+    total += d.weight * estimate_run(dev, p, d.sizes, thresholds).time_us;
+  }
+  return total;
+}
+
+TuningReport autotune(const DeviceProfile& dev, const Program& p,
+                      const ThresholdRegistry& reg,
+                      const std::vector<TuningDataset>& datasets,
+                      const TunerOptions& opts) {
+  TuningReport rep;
+  std::vector<std::string> names;
+  for (const auto& ti : reg.all()) names.push_back(ti.name);
+
+  if (opts.use_plan) {
+    WorkerPool pool(opts.workers);
+    PlanEval ev =
+        PlanEval::build(dev, p, datasets, opts.default_threshold, pool);
+    if (ev.ok()) {
+      PlanMemoizer memo{ev, {}, 0, 0};
+      stochastic_search(memo, names, opts, rep);
+      rep.used_plan = true;
+      return rep;
+    }
+  }
+  WalkMemoizer memo{dev, p, reg, datasets, opts.default_threshold, {}, 0, 0};
+  stochastic_search(memo, names, opts, rep);
   return rep;
 }
 
 TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
                              const ThresholdRegistry& reg,
                              const std::vector<TuningDataset>& datasets,
-                             int64_t default_threshold) {
+                             int64_t default_threshold,
+                             const TunerOptions& opts) {
   TuningReport rep;
-  Memoizer memo{dev, p, reg, datasets, default_threshold, {}, 0, 0};
-  rep.default_cost_us = memo.cost({});
 
   // Candidate values per threshold: "always on", "always off", and every
   // boundary that separates the training datasets.
@@ -160,27 +286,91 @@ TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
     names.push_back(ti.name);
     cands.emplace_back(c.begin(), c.end());
   }
+  const std::vector<std::map<std::string, int64_t>> all =
+      enumerate_assignments(names, cands);
 
-  std::map<std::string, int64_t> current, best_assign;
-  double best = memo.cost({});
-  std::function<void(size_t)> go = [&](size_t i) {
-    if (i == names.size()) {
-      ++rep.trials;
-      const double c = memo.cost(current);
-      if (c < best) {
-        best = c;
-        best_assign = current;
+  if (opts.use_plan) {
+    WorkerPool pool(opts.workers);
+    PlanEval ev = PlanEval::build(dev, p, datasets, default_threshold, pool);
+    if (ev.ok()) {
+      rep.used_plan = true;
+      const int n = static_cast<int>(all.size());
+
+      // Phase 1: dedup keys for every candidate, concurrently.
+      std::vector<ThresholdEnv> envs(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        envs[static_cast<size_t>(i)] =
+            to_env(all[static_cast<size_t>(i)], default_threshold);
       }
-      return;
-    }
-    for (int64_t v : cands[i]) {
-      current[names[i]] = v;
-      go(i + 1);
-    }
-    current.erase(names[i]);
-  };
-  go(0);
+      const ThresholdEnv default_env = to_env({}, default_threshold);
+      const std::vector<uint64_t> default_key = ev.key(default_env);
+      std::vector<std::vector<uint64_t>> keys(static_cast<size_t>(n));
+      pool.run(n, [&](int i) {
+        keys[static_cast<size_t>(i)] = ev.key(envs[static_cast<size_t>(i)]);
+      });
 
+      // Phase 2: one representative per distinct key (-1 = default env).
+      std::map<std::vector<uint64_t>, int> rep_ix;
+      rep_ix.emplace(default_key, -1);
+      for (int i = 0; i < n; ++i) {
+        rep_ix.emplace(keys[static_cast<size_t>(i)], i);
+      }
+
+      // Phase 3: price only the representatives, concurrently.
+      std::vector<std::pair<const std::vector<uint64_t>*, int>> uniq;
+      uniq.reserve(rep_ix.size());
+      for (const auto& [k, ix] : rep_ix) uniq.emplace_back(&k, ix);
+      std::vector<double> ucost(uniq.size());
+      pool.run(static_cast<int>(uniq.size()), [&](int u) {
+        const int ix = uniq[static_cast<size_t>(u)].second;
+        ucost[static_cast<size_t>(u)] =
+            ev.cost(ix < 0 ? default_env : envs[static_cast<size_t>(ix)]);
+      });
+      std::map<std::vector<uint64_t>, double> cost_of;
+      for (size_t u = 0; u < uniq.size(); ++u) {
+        cost_of.emplace(*uniq[u].first, ucost[u]);
+      }
+
+      // Phase 4: deterministic sequential replay of the legacy scan order,
+      // with the memoizer's counter semantics.
+      std::set<std::vector<uint64_t>> seen;
+      auto memo_cost = [&](const std::vector<uint64_t>& k) {
+        if (seen.insert(k).second) {
+          ++rep.evaluations;
+        } else {
+          ++rep.dedup_hits;
+        }
+        return cost_of.at(k);
+      };
+      rep.default_cost_us = memo_cost(default_key);
+      double best = memo_cost(default_key);
+      std::map<std::string, int64_t> best_assign;
+      for (int i = 0; i < n; ++i) {
+        ++rep.trials;
+        const double c = memo_cost(keys[static_cast<size_t>(i)]);
+        if (c < best) {
+          best = c;
+          best_assign = all[static_cast<size_t>(i)];
+        }
+      }
+      rep.best = to_env(best_assign, default_threshold);
+      rep.best_cost_us = best;
+      return rep;
+    }
+  }
+
+  WalkMemoizer memo{dev, p, reg, datasets, default_threshold, {}, 0, 0};
+  rep.default_cost_us = memo.cost({});
+  std::map<std::string, int64_t> best_assign;
+  double best = memo.cost({});
+  for (const auto& a : all) {
+    ++rep.trials;
+    const double c = memo.cost(a);
+    if (c < best) {
+      best = c;
+      best_assign = a;
+    }
+  }
   rep.best = to_env(best_assign, default_threshold);
   rep.best_cost_us = best;
   rep.evaluations = memo.evaluations;

@@ -7,6 +7,15 @@
 // climbing from the incumbent) over power-of-two threshold values, with the
 // paper's branching-tree deduplication — assignments that select the same
 // code version on every training dataset share one (simulated) measurement.
+//
+// Cost evaluation goes through the plan layer (src/plan/): the program is
+// lowered once into a KernelPlan decision tree, each training dataset gets
+// a PlanDatasetCache (warmed concurrently on a worker pool), and from then
+// on every candidate assignment costs one tree descent instead of an IR
+// walk.  Dedup keys are guard-path bitsets read off the same descent.  The
+// legacy IR-walking path is kept behind TunerOptions::use_plan as a debug
+// oracle (and as the automatic fallback for programs outside the plan
+// builder's fragment).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +44,15 @@ struct TunerOptions {
   int log2_min = 0;            // thresholds range over [2^min, 2^max]
   int log2_max = 31;
   int64_t default_threshold = int64_t{1} << 15;  // paper default
+
+  /// Evaluate candidates against the compile-once kernel plan (fast path).
+  /// false = price every candidate with the legacy IR walker; kept as a
+  /// debug oracle — results are bit-identical either way.
+  bool use_plan = true;
+
+  /// Worker threads for per-dataset cache warming and exhaustive candidate
+  /// batches; <= 0 picks a small default from hardware_concurrency.
+  int workers = 0;
 };
 
 struct TuningReport {
@@ -44,6 +62,7 @@ struct TuningReport {
   int trials = 0;             // assignments attempted
   int evaluations = 0;        // cost-model evaluations actually performed
   int dedup_hits = 0;         // assignments resolved from the branching tree
+  bool used_plan = false;     // evaluated via KernelPlan (not the IR walker)
 };
 
 /// Tune `p`'s thresholds for `dev` over the training datasets.
@@ -59,10 +78,12 @@ TuningReport autotune(const DeviceProfile& dev, const Program& p,
 TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
                              const ThresholdRegistry& reg,
                              const std::vector<TuningDataset>& datasets,
-                             int64_t default_threshold = int64_t{1} << 15);
+                             int64_t default_threshold = int64_t{1} << 15,
+                             const TunerOptions& opts = {});
 
 /// The tuner's cost function: weighted sum over datasets of simulated
-/// runtime under the given assignment.
+/// runtime under the given assignment (always the legacy IR walker; the
+/// plan-based equivalent is plan_cost over per-dataset caches).
 double tuning_cost(const DeviceProfile& dev, const Program& p,
                    const std::vector<TuningDataset>& datasets,
                    const ThresholdEnv& thresholds);

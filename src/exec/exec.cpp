@@ -11,11 +11,13 @@ Compiled compile(const Program& src, FlattenMode mode) {
   c.source = src;
   c.flat = flatten(src, mode);
   c.mode = mode;
+  c.plan = std::make_shared<const KernelPlan>(build_kernel_plan(c.flat.program));
   return c;
 }
 
 RunEstimate simulate(const DeviceProfile& dev, const Compiled& c,
                      const SizeEnv& sizes, const ThresholdEnv& thresholds) {
+  if (c.plan) return plan_estimate_run(*c.plan, dev, sizes, thresholds);
   return estimate_run(dev, c.flat.program, sizes, thresholds);
 }
 

@@ -1,25 +1,34 @@
-// Convenience facade tying the pipeline together: compile (flatten) a source
-// program once, then simulate its performance on a device profile and/or
-// execute it for values via the reference interpreter.
+// Convenience facade tying the pipeline together: compile (flatten + plan) a
+// source program once, then simulate its performance on a device profile
+// and/or execute it for values via the reference interpreter.
 #pragma once
+
+#include <memory>
 
 #include "src/flatten/flatten.h"
 #include "src/gpusim/cost.h"
 #include "src/interp/interp.h"
+#include "src/plan/plan.h"
 
 namespace incflat {
 
-/// A flattened program bundled with its source and compilation mode.
+/// A flattened program bundled with its source, compilation mode and the
+/// compile-once kernel plan (decision tree + priced kernel table) that
+/// simulation and tuning evaluate instead of re-walking the IR.
 struct Compiled {
   Program source;        // type-annotated source program
   FlattenResult flat;    // target program + threshold registry
   FlattenMode mode = FlattenMode::Incremental;
+  std::shared_ptr<const KernelPlan> plan;  // built once by compile()
 };
 
-/// Flatten `src` (which must be type-annotated) under `mode`.
+/// Flatten `src` (which must be type-annotated) under `mode` and lower the
+/// result into a KernelPlan.
 Compiled compile(const Program& src, FlattenMode mode);
 
-/// Price one run of the compiled program on `dev` for dataset `sizes`.
+/// Price one run of the compiled program on `dev` for dataset `sizes`, via
+/// the kernel plan (bit-identical to the legacy estimate_run IR walk, which
+/// remains available directly as the debug oracle).
 RunEstimate simulate(const DeviceProfile& dev, const Compiled& c,
                      const SizeEnv& sizes,
                      const ThresholdEnv& thresholds = {});

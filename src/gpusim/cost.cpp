@@ -9,13 +9,15 @@
 
 namespace incflat {
 
-namespace {
-
-double flops_of_unop(const std::string& op) {
+double unop_flop_cost(const std::string& op) {
   if (op == "exp" || op == "log" || op == "pow") return 8;
   if (op == "sqrt") return 4;
   return 1;
 }
+
+double binop_flop_cost(const std::string& op) { return op == "pow" ? 8 : 1; }
+
+namespace {
 
 double bytes_of(const Type& t, const SizeEnv& sizes) {
   return static_cast<double>(t.count(sizes)) * scalar_bytes(t.elem);
@@ -63,12 +65,12 @@ struct CostWalker {
     if (auto* b = e->as<BinOpE>()) {
       w += seqp(b->lhs, tile_div, priv);
       w += seqp(b->rhs, tile_div, priv);
-      w.flops += b->op == "pow" ? 8 : 1;
+      w.flops += binop_flop_cost(b->op);
       return w;
     }
     if (auto* u = e->as<UnOpE>()) {
       w = seqp(u->e, tile_div, priv);
-      w.flops += flops_of_unop(u->op);
+      w.flops += unop_flop_cost(u->op);
       return w;
     }
     if (auto* i = e->as<IfE>()) {

@@ -1,0 +1,238 @@
+#include "src/plan/plan.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "src/support/error.h"
+
+namespace incflat {
+
+PlanDatasetCache::PlanDatasetCache(const KernelPlan& plan,
+                                   const DeviceProfile& dev,
+                                   const SizeEnv& sizes)
+    : dev_(dev), sizes_(sizes), values_(plan.arena, dev, sizes) {
+  kernels_.resize(plan.kernels.size());
+  for (size_t k = 0; k < plan.kernels.size(); ++k) {
+    const KernelDesc& d = plan.kernels[k];
+    PricedKernel& pk = kernels_[k];
+    const bool ok = values_.is_valid(d.flops) && values_.is_valid(d.gbytes) &&
+                    values_.is_valid(d.lbytes) && values_.is_valid(d.threads) &&
+                    (d.fallback < 0 || values_.is_valid(d.fallback));
+    if (!ok) continue;
+    pk.work.flops = values_.get_f(d.flops);
+    pk.work.gbytes = values_.get_f(d.gbytes);
+    pk.work.lbytes = values_.get_f(d.lbytes);
+    pk.threads = values_.get_i(d.threads);
+    pk.fallback = d.fallback >= 0 && values_.get_i(d.fallback) != 0;
+    pk.time_us = roofline_time(dev_, pk.work, pk.threads, d.launches);
+    pk.valid = true;
+  }
+  guards_.resize(plan.guards.size());
+  for (size_t g = 0; g < plan.guards.size(); ++g) {
+    const GuardInfo& gi = plan.guards[g];
+    GuardVals& gv = guards_[g];
+    if (!gi.fit.alts.empty()) {
+      try {
+        gv.fit_fail = gi.fit.eval(sizes_) > dev_.max_group_size;
+      } catch (const EvalError&) {
+        gv.error = true;
+      }
+    }
+    if (!gv.error) {
+      try {
+        gv.par = gi.par.eval(sizes_);
+      } catch (const EvalError&) {
+        // Only an error if the fit check does not already reject the guard
+        // (the legacy walker short-circuits on fit failure).
+        if (!gv.fit_fail) gv.error = true;
+      }
+    }
+  }
+}
+
+const PlanDatasetCache::PricedKernel& PlanDatasetCache::kernel(int k) const {
+  const PricedKernel& pk = kernels_[static_cast<size_t>(k)];
+  if (!pk.valid) {
+    throw EvalError("plan: kernel cost uses an unbound size variable");
+  }
+  return pk;
+}
+
+bool PlanDatasetCache::guard_taken(int guard_ix, int64_t threshold_value) const {
+  const GuardVals& gv = guards_[static_cast<size_t>(guard_ix)];
+  if (gv.error) {
+    throw EvalError("plan: guard size expression uses an unbound variable");
+  }
+  if (gv.fit_fail) return false;
+  return gv.par >= threshold_value;
+}
+
+namespace {
+
+struct Traversal {
+  const KernelPlan& plan;
+  const PlanDatasetCache& cache;
+  const ThresholdEnv& thr;
+  PathSig* sig = nullptr;
+
+  // Evaluates node `id`, returning its simulated-time contribution.  When
+  // `out` is non-null the kernel/guard report vectors and work totals are
+  // accumulated with exactly the legacy walker's operation order, so the
+  // resulting RunEstimate is bit-identical to estimate_run's.
+  double eval(int id, RunEstimate* out) {
+    const PlanNode& n = plan.nodes[static_cast<size_t>(id)];
+    switch (n.kind) {
+      case PlanNode::Kind::Block: {
+        double t = 0;
+        for (const PlanNode::Step& s : n.steps) {
+          if (s.is_kernel) {
+            const KernelDesc& d = plan.kernels[static_cast<size_t>(s.index)];
+            const auto& pk = cache.kernel(s.index);
+            if (out) {
+              out->kernel_launches += d.launches;
+              out->total += pk.work;
+              out->kernels.push_back(
+                  KernelCost{d.what, pk.time_us, pk.threads, pk.work,
+                             pk.fallback});
+            }
+            t += pk.time_us;
+          } else {
+            t += eval(s.index, out);
+          }
+        }
+        return t;
+      }
+      case PlanNode::Kind::Guard: {
+        const GuardInfo& g = plan.guards[static_cast<size_t>(n.guard)];
+        const bool taken = cache.guard_taken(n.guard, thr.get(g.threshold));
+        if (sig) sig->set(n.guard, taken);
+        if (out) out->guards.emplace_back(g.threshold, taken);
+        return eval(taken ? n.then_node : n.else_node, out);
+      }
+      case PlanNode::Kind::DataCond: {
+        // The legacy walker prices both branches with fresh sub-walkers and
+        // merges the worse one's report.
+        RunEstimate ea, eb;
+        const double ta = eval(n.then_node, out ? &ea : nullptr);
+        const double tb = eval(n.else_node, out ? &eb : nullptr);
+        if (out) {
+          RunEstimate& worse = ta >= tb ? ea : eb;
+          out->kernel_launches += worse.kernel_launches;
+          out->total += worse.total;
+          out->kernels.insert(out->kernels.end(), worse.kernels.begin(),
+                              worse.kernels.end());
+          out->guards.insert(out->guards.end(), worse.guards.begin(),
+                             worse.guards.end());
+        }
+        return std::max(ta, tb);
+      }
+      case PlanNode::Kind::Scale: {
+        const int64_t count = cache.values().get_i(n.count);
+        const double trips = static_cast<double>(count);
+        if (!out) return eval(n.child, nullptr) * trips;
+        const int64_t k0 = out->kernel_launches;
+        const Work w0 = out->total;
+        const size_t kc0 = out->kernels.size();
+        const double body_t = eval(n.child, out);
+        out->kernel_launches =
+            k0 + (out->kernel_launches - k0) * static_cast<int64_t>(trips);
+        Work dw = out->total;
+        dw.flops = w0.flops + (dw.flops - w0.flops) * trips;
+        dw.gbytes = w0.gbytes + (dw.gbytes - w0.gbytes) * trips;
+        dw.lbytes = w0.lbytes + (dw.lbytes - w0.lbytes) * trips;
+        out->total = dw;
+        for (size_t k = kc0; k < out->kernels.size(); ++k) {
+          out->kernels[k].what +=
+              " x" + std::to_string(static_cast<int64_t>(trips));
+        }
+        return body_t * trips;
+      }
+    }
+    INCFLAT_FAIL("plan: unknown node kind");
+  }
+};
+
+}  // namespace
+
+RunEstimate plan_estimate(const KernelPlan& plan, const PlanDatasetCache& cache,
+                          const ThresholdEnv& thresholds) {
+  if (plan.legacy_fallback) {
+    return estimate_run(cache.dev(), plan.program, cache.sizes(), thresholds);
+  }
+  RunEstimate out;
+  Traversal tr{plan, cache, thresholds, nullptr};
+  out.time_us = tr.eval(plan.root, &out);
+  return out;
+}
+
+double plan_cost(const KernelPlan& plan, const PlanDatasetCache& cache,
+                 const ThresholdEnv& thresholds, PathSig* sig) {
+  if (plan.legacy_fallback) {
+    return estimate_run(cache.dev(), plan.program, cache.sizes(), thresholds)
+        .time_us;
+  }
+  Traversal tr{plan, cache, thresholds, sig};
+  return tr.eval(plan.root, nullptr);
+}
+
+PathSig plan_signature(const KernelPlan& plan, const PlanDatasetCache& cache,
+                       const ThresholdEnv& thresholds) {
+  INCFLAT_CHECK(!plan.legacy_fallback,
+                "plan_signature on a legacy-fallback plan");
+  PathSig sig(plan.guards.size());
+  // Structural descent only: kernels are skipped, so this never prices
+  // anything and costs O(nodes-on-path).
+  const std::function<void(int)> walk = [&](int id) {
+    const PlanNode& n = plan.nodes[static_cast<size_t>(id)];
+    switch (n.kind) {
+      case PlanNode::Kind::Block:
+        for (const PlanNode::Step& s : n.steps) {
+          if (!s.is_kernel) walk(s.index);
+        }
+        return;
+      case PlanNode::Kind::Guard: {
+        const GuardInfo& g = plan.guards[static_cast<size_t>(n.guard)];
+        const bool taken = cache.guard_taken(n.guard, thresholds.get(g.threshold));
+        sig.set(n.guard, taken);
+        walk(taken ? n.then_node : n.else_node);
+        return;
+      }
+      case PlanNode::Kind::DataCond:
+        // Both branches contribute to the cost (worse-of-both), so both
+        // branches' guard decisions are part of the signature.
+        walk(n.then_node);
+        walk(n.else_node);
+        return;
+      case PlanNode::Kind::Scale:
+        walk(n.child);
+        return;
+    }
+  };
+  walk(plan.root);
+  return sig;
+}
+
+RunEstimate plan_estimate_run(const KernelPlan& plan, const DeviceProfile& dev,
+                              const SizeEnv& sizes,
+                              const ThresholdEnv& thresholds) {
+  if (plan.legacy_fallback) {
+    return estimate_run(dev, plan.program, sizes, thresholds);
+  }
+  PlanDatasetCache cache(plan, dev, sizes);
+  return plan_estimate(plan, cache, thresholds);
+}
+
+std::string plan_stats(const KernelPlan& plan) {
+  std::ostringstream os;
+  if (plan.legacy_fallback) {
+    os << "plan: legacy-walker fallback (" << plan.fallback_reason << ")";
+    return os.str();
+  }
+  os << "plan: " << plan.nodes.size() << " tree nodes, " << plan.guards.size()
+     << " guards, " << plan.kernels.size() << " kernels, "
+     << plan.arena.size() << " cost-expression nodes";
+  return os.str();
+}
+
+}  // namespace incflat

@@ -1,0 +1,75 @@
+#include "src/support/pool.h"
+
+#include <algorithm>
+
+namespace incflat {
+
+WorkerPool::WorkerPool(int workers) {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 4;
+  const int n = workers > 0 ? workers : std::min(hw, 8);
+  threads_.reserve(static_cast<size_t>(std::max(n - 1, 0)));
+  for (int i = 1; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::drain(std::unique_lock<std::mutex>& lk) {
+  while (next_ < n_) {
+    const int ix = next_++;
+    const std::function<void(int)>* fn = fn_;
+    lk.unlock();
+    std::exception_ptr e;
+    try {
+      (*fn)(ix);
+    } catch (...) {
+      e = std::current_exception();
+    }
+    lk.lock();
+    if (e && !err_) err_ = e;
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t seen = 0;
+  for (;;) {
+    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    ++active_;
+    drain(lk);
+    --active_;
+    if (active_ == 0 && next_ >= n_) cv_done_.notify_all();
+  }
+}
+
+void WorkerPool::run(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  fn_ = &fn;
+  n_ = n;
+  next_ = 0;
+  err_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  drain(lk);
+  cv_done_.wait(lk, [&] { return active_ == 0 && next_ >= n_; });
+  fn_ = nullptr;
+  if (err_) {
+    std::exception_ptr e = err_;
+    err_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace incflat

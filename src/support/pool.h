@@ -1,0 +1,51 @@
+// A small std::thread worker pool for fanning independent work items.
+//
+// The autotuner uses it to warm per-dataset plan caches and to price
+// exhaustive-search candidate batches concurrently.  Work items must be
+// independent; determinism is preserved by keeping all result aggregation
+// in the caller, in item order, after run() returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incflat {
+
+class WorkerPool {
+ public:
+  /// `workers` <= 0 picks min(hardware_concurrency, 8); 1 runs inline.
+  explicit WorkerPool(int workers = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run fn(0) .. fn(n-1) across the pool; the calling thread participates.
+  /// Blocks until every task finished.  If tasks threw, the first captured
+  /// exception is rethrown in the caller.  Not reentrant.
+  void run(int n, const std::function<void(int)>& fn);
+
+  /// Total width including the calling thread.
+  int width() const { return static_cast<int>(threads_.size()) + 1; }
+
+ private:
+  void worker_loop();
+  void drain(std::unique_lock<std::mutex>& lk);
+
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* fn_ = nullptr;
+  int n_ = 0;
+  int next_ = 0;
+  int active_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr err_;
+};
+
+}  // namespace incflat

@@ -22,6 +22,7 @@
 #include "src/exec/exec.h"
 #include "src/ir/print.h"
 #include "src/ir/traverse.h"
+#include "src/plan/plan.h"
 #include "src/support/json.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -39,8 +40,10 @@ struct Options {
   bool list = false;
   bool print_ir = false;
   bool print_tree = false;
+  bool print_plan = false;
   bool tune = false;
   bool exhaustive = false;
+  bool oracle = false;
   bool json = false;
 };
 
@@ -58,6 +61,9 @@ int usage() {
       "  --out FILE                  write tuned thresholds to FILE\n"
       "  --print-ir                  print the flattened program\n"
       "  --tree                      print the threshold branching tree\n"
+      "  --plan                      print kernel-plan statistics\n"
+      "  --oracle                    price with the legacy IR walker instead\n"
+      "                              of the kernel plan (debug oracle)\n"
       "  --json                      machine-readable output\n";
   return 2;
 }
@@ -91,6 +97,10 @@ std::optional<Options> parse(int argc, char** argv) {
       o.print_ir = true;
     } else if (a == "--tree") {
       o.print_tree = true;
+    } else if (a == "--plan") {
+      o.print_plan = true;
+    } else if (a == "--oracle") {
+      o.oracle = true;
     } else if (a == "--json") {
       o.json = true;
     } else {
@@ -132,6 +142,9 @@ int run(const Options& o) {
   fo.fuse = mode != FlattenMode::Moderate || b.fuse_moderate;
   FlattenResult fr = flatten(b.program, mode, fo);
 
+  // The plan is built once per compile and shared by simulation and tuning.
+  const KernelPlan plan = build_kernel_plan(fr.program);
+
   if (o.print_ir) {
     std::cout << pretty(fr.program);
   }
@@ -140,6 +153,9 @@ int run(const Options& o) {
               << " thresholds):\n"
               << fr.thresholds.tree_str();
   }
+  if (o.print_plan) {
+    std::cout << plan_stats(plan) << "\n";
+  }
 
   ThresholdEnv thresholds;
   if (!o.tuning_in.empty()) thresholds = load_tuning(o.tuning_in);
@@ -147,12 +163,16 @@ int run(const Options& o) {
   if (o.tune) {
     std::vector<TuningDataset> train;
     for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
+    TunerOptions topts;
+    topts.use_plan = !o.oracle;
     TuningReport rep =
         o.exhaustive
-            ? exhaustive_tune(dev, fr.program, fr.thresholds, train)
-            : autotune(dev, fr.program, fr.thresholds, train);
+            ? exhaustive_tune(dev, fr.program, fr.thresholds, train,
+                              topts.default_threshold, topts)
+            : autotune(dev, fr.program, fr.thresholds, train, topts);
     thresholds = rep.best;
-    std::cout << "tuned on " << train.size() << " datasets: "
+    std::cout << "tuned on " << train.size() << " datasets via "
+              << (rep.used_plan ? "kernel plan" : "IR walker") << ": "
               << fmt_us(rep.default_cost_us) << " -> "
               << fmt_us(rep.best_cost_us) << " (" << rep.evaluations
               << " evaluations, " << rep.dedup_hits << " dedup hits)\n";
@@ -174,7 +194,9 @@ int run(const Options& o) {
       std::cerr << "unknown dataset " << o.dataset << "\n";
       return 2;
     }
-    RunEstimate est = estimate_run(dev, fr.program, ds->sizes, thresholds);
+    RunEstimate est =
+        o.oracle ? estimate_run(dev, fr.program, ds->sizes, thresholds)
+                 : plan_estimate_run(plan, dev, ds->sizes, thresholds);
     if (o.json) {
       Json j = Json::object();
       j.set("benchmark", b.name)
