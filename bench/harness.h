@@ -8,6 +8,7 @@
 // crossovers fall — the reproduction contract from DESIGN.md).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,8 +20,57 @@
 #include "src/plan/plan.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
+#include "src/support/trace.h"
 
 namespace incflat::bench {
+
+/// Observability hook for the figure binaries: setting INCFLAT_TRACE=file
+/// writes a Chrome trace-event JSON of the whole run, INCFLAT_STATS=1
+/// prints the per-phase timing/counter summary to stderr alongside the
+/// figure's own output.  Both are flushed at process exit.
+class TraceSession {
+ public:
+  TraceSession() {
+    // Touch the trace state before this object finishes constructing, so
+    // the state singleton is destroyed after us and the destructor's flush
+    // stays valid at process exit.
+    trace::reset();
+    const char* t = std::getenv("INCFLAT_TRACE");
+    const char* s = std::getenv("INCFLAT_STATS");
+    if (t && *t) trace_out_ = t;
+    stats_ = s && *s;
+    if (!trace_out_.empty() || stats_) trace::set_enabled(true);
+  }
+  ~TraceSession() {
+    if (stats_) trace::print_summary(std::cerr);
+    if (trace_out_.empty()) return;
+    try {
+      trace::write_chrome(trace_out_);
+      std::cerr << "wrote trace to " << trace_out_ << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "trace: " << e.what() << "\n";
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string trace_out_;
+  bool stats_ = false;
+};
+
+/// The process-wide session; first call decides enablement from the
+/// environment.
+inline TraceSession& trace_session() {
+  static TraceSession s;
+  return s;
+}
+
+namespace detail {
+/// Every figure binary includes this header, so touching the session from
+/// a static initializer wires the hook without per-binary code.
+inline const bool trace_session_init = (trace_session(), true);
+}  // namespace detail
 
 /// A compiled benchmark with tuned thresholds per device.  Each flattening
 /// mode carries its compile-once kernel plan; all pricing below goes
@@ -50,6 +100,8 @@ inline RunEstimate sim(const KernelPlan& plan, const DeviceProfile& dev,
 inline TunedBench prepare(const Benchmark& b,
                           const std::vector<DeviceProfile>& devices,
                           bool exhaustive = true) {
+  trace_session();
+  trace::Span span("bench.prepare");
   TunedBench t;
   t.bench = b;
   FlattenOptions mf_opts;

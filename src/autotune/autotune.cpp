@@ -12,6 +12,7 @@
 #include "src/support/error.h"
 #include "src/support/pool.h"
 #include "src/support/rng.h"
+#include "src/support/trace.h"
 
 namespace incflat {
 
@@ -93,6 +94,7 @@ struct PlanEval {
   static PlanEval build(const DeviceProfile& dev, const Program& p,
                         const std::vector<TuningDataset>& datasets,
                         int64_t default_value, WorkerPool& pool) {
+    trace::Span span("tune.plan_warm");
     PlanEval ev;
     ev.plan = build_kernel_plan(p);
     ev.datasets = &datasets;
@@ -231,6 +233,17 @@ std::vector<std::map<std::string, int64_t>> enumerate_assignments(
   return all;
 }
 
+/// One-shot trace counters for a finished search: the hot candidate loop
+/// stays uninstrumented, the tallies it already keeps in the report are
+/// published at the end.
+void trace_report(const TuningReport& rep) {
+  if (!trace::enabled()) return;
+  trace::count("tuner.candidates", rep.trials);
+  trace::count("tuner.evaluations", rep.evaluations);
+  trace::count("tuner.dedup_hits", rep.dedup_hits);
+  if (rep.used_plan) trace::count("tuner.plan_searches");
+}
+
 }  // namespace
 
 double tuning_cost(const DeviceProfile& dev, const Program& p,
@@ -247,6 +260,7 @@ TuningReport autotune(const DeviceProfile& dev, const Program& p,
                       const ThresholdRegistry& reg,
                       const std::vector<TuningDataset>& datasets,
                       const TunerOptions& opts) {
+  trace::Span span("tune.stochastic");
   TuningReport rep;
   std::vector<std::string> names;
   for (const auto& ti : reg.all()) names.push_back(ti.name);
@@ -259,11 +273,13 @@ TuningReport autotune(const DeviceProfile& dev, const Program& p,
       PlanMemoizer memo{ev, {}, 0, 0};
       stochastic_search(memo, names, opts, rep);
       rep.used_plan = true;
+      trace_report(rep);
       return rep;
     }
   }
   WalkMemoizer memo{dev, p, reg, datasets, opts.default_threshold, {}, 0, 0};
   stochastic_search(memo, names, opts, rep);
+  trace_report(rep);
   return rep;
 }
 
@@ -272,6 +288,7 @@ TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
                              const std::vector<TuningDataset>& datasets,
                              int64_t default_threshold,
                              const TunerOptions& opts) {
+  trace::Span span("tune.exhaustive");
   TuningReport rep;
 
   // Candidate values per threshold: "always on", "always off", and every
@@ -355,6 +372,7 @@ TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
       }
       rep.best = to_env(best_assign, default_threshold);
       rep.best_cost_us = best;
+      trace_report(rep);
       return rep;
     }
   }
@@ -375,6 +393,7 @@ TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
   rep.best_cost_us = best;
   rep.evaluations = memo.evaluations;
   rep.dedup_hits = memo.dedup_hits;
+  trace_report(rep);
   return rep;
 }
 

@@ -17,6 +17,17 @@ std::string tuning_to_string(const ThresholdEnv& env) {
   return os.str();
 }
 
+namespace {
+
+std::string trim(const std::string& s) {
+  const size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
 ThresholdEnv tuning_from_string(const std::string& text) {
   ThresholdEnv env;
   std::istringstream is(text);
@@ -33,18 +44,31 @@ ThresholdEnv tuning_from_string(const std::string& text) {
       throw EvalError("tuning file: missing '=' on line " +
                       std::to_string(lineno));
     }
-    const std::string name = line.substr(0, eq);
-    const std::string value = line.substr(eq + 1);
+    // Keys and values are trimmed on both sides ("default = 16" assigns
+    // the key "default", not "default "), and a value must be one whole
+    // integer — stoll's silent acceptance of trailing garbage ("16abc")
+    // previously stored 16.
+    const std::string name = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (name.empty()) {
+      throw EvalError("tuning file: empty key on line " +
+                      std::to_string(lineno));
+    }
+    int64_t v = 0;
     try {
-      const int64_t v = std::stoll(value);
-      if (name == "default") {
-        env.default_threshold = v;
-      } else {
-        env.values[name] = v;
+      size_t consumed = 0;
+      v = std::stoll(value, &consumed);
+      if (consumed != value.size()) {
+        throw EvalError("trailing junk");
       }
     } catch (const std::exception&) {
       throw EvalError("tuning file: bad value on line " +
                       std::to_string(lineno) + ": '" + value + "'");
+    }
+    if (name == "default") {
+      env.default_threshold = v;
+    } else {
+      env.values[name] = v;
     }
   }
   return env;

@@ -3,10 +3,26 @@
 #include <sstream>
 
 #include "src/support/str.h"
+#include "src/support/trace.h"
 
 namespace incflat {
 
+namespace {
+
+/// Kernel-launch / bytes-moved counters for one priced run (gpusim
+/// estimates; bytes are the model's global+local traffic).
+void trace_estimate(const RunEstimate& est) {
+  if (!trace::enabled()) return;
+  trace::count("exec.simulations");
+  trace::count("exec.kernel_launches", est.kernel_launches);
+  trace::count("exec.global_bytes", static_cast<int64_t>(est.total.gbytes));
+  trace::count("exec.local_bytes", static_cast<int64_t>(est.total.lbytes));
+}
+
+}  // namespace
+
 Compiled compile(const Program& src, FlattenMode mode) {
+  trace::Span span("compile");
   Compiled c;
   c.source = src;
   c.flat = flatten(src, mode);
@@ -17,13 +33,18 @@ Compiled compile(const Program& src, FlattenMode mode) {
 
 RunEstimate simulate(const DeviceProfile& dev, const Compiled& c,
                      const SizeEnv& sizes, const ThresholdEnv& thresholds) {
-  if (c.plan) return plan_estimate_run(*c.plan, dev, sizes, thresholds);
-  return estimate_run(dev, c.flat.program, sizes, thresholds);
+  trace::Span span("exec.simulate");
+  RunEstimate est = c.plan ? plan_estimate_run(*c.plan, dev, sizes, thresholds)
+                           : estimate_run(dev, c.flat.program, sizes,
+                                          thresholds);
+  trace_estimate(est);
+  return est;
 }
 
 Values execute(const DeviceProfile& dev, const Compiled& c,
                const SizeEnv& sizes, const ThresholdEnv& thresholds,
                const std::vector<Value>& inputs) {
+  trace::Span span("exec.execute");
   InterpCtx ctx;
   ctx.sizes = sizes;
   ctx.thresholds = thresholds;

@@ -11,6 +11,7 @@
 #include "src/ir/traverse.h"
 #include "src/ir/typecheck.h"
 #include "src/support/error.h"
+#include "src/support/trace.h"
 
 namespace incflat {
 
@@ -257,6 +258,7 @@ struct Flattener {
   /// rules G1 and G2.
   ExprP manifest(const SegSpace& sigma, int level, const ExprP& body) {
     INCFLAT_CHECK(!sigma.empty(), "manifest with empty context");
+    trace::count("flatten.manifests");
     SegOpE so;
     so.op = SegOpE::Op::Map;
     so.level = level;
@@ -291,7 +293,10 @@ struct Flattener {
 
     // G0 / G1 / G2: no inner parallelism left.
     if (!has_soacs(e)) {
-      if (sigma.empty()) return e;
+      if (sigma.empty()) {
+        trace::count("flatten.rule.G0");
+        return e;
+      }
       // Identity nests: manifesting a variable that chains through every
       // context level just reproduces the underlying whole array — emit
       // that array instead of a copy kernel.
@@ -300,6 +305,7 @@ struct Flattener {
       if (auto* ra = e->as<RearrangeE>()) {
         return rearrange_case(*ra, e, sigma, level, env);
       }
+      trace::count("flatten.rule.G1");
       return manifest(sigma, level, e);
     }
 
@@ -388,6 +394,7 @@ struct Flattener {
 
   ExprP distribute_binding(const LetE& l, const SegSpace& sigma, int level,
                            TypeEnv env) {
+    trace::count("flatten.rule.G6");
     ExprP rhs2 = transform(sigma, level, l.rhs, env);
     INCFLAT_CHECK(l.rhs->types.size() == l.vars.size(),
                   "let arity in distribute");
@@ -423,6 +430,7 @@ struct Flattener {
         return wrap_hoists(hoists, transform(sigmap, level, body, envp));
       }
       // G2: body fully sequential; manifest the whole nest.
+      trace::count("flatten.rule.G2");
       return wrap_hoists(hoists, manifest(sigmap, level, body));
     }
 
@@ -464,8 +472,11 @@ struct Flattener {
       // Degenerate: no inner parallelism was actually exploitable.
       // Roll back the threshold and emit the single version.
       thresholds.truncate(reg_mark);
+      trace::count("flatten.rule.G3.degenerate");
       guarded = e_top;
     } else {
+      trace::count("flatten.rule.G3");
+      trace::count("flatten.versions", e_middle ? 3 : 2);
       ExprP rest = e_flat;
       if (e_middle) {
         ExprP cmp_intra = mk(
@@ -528,6 +539,7 @@ struct Flattener {
   ExprP reduce_case(const ReduceE& r, const SegSpace& sigma, int level,
                     TypeEnv env) {
     if (ExprP g4 = try_g4(r, env)) {
+      trace::count("flatten.rule.G4");
       return transform(sigma, level, g4, env);
     }
     check_invariant_neutral(r.neutral, sigma);
@@ -605,6 +617,8 @@ struct Flattener {
     if (!inner_par) return segred_of(rm, sigma, level, env);
     if (level == 0) return decompose_redomap(rm, sigma, level, env);
 
+    trace::count("flatten.rule.G9");
+    trace::count("flatten.versions", 2);
     TypeEnv envp = env;
     std::vector<std::pair<std::string, ExprP>> hoists;
     std::vector<std::string> arrs = ensure_vars(rm.arrays, sigma, envp, hoists);
@@ -698,6 +712,7 @@ struct Flattener {
       }
     }
 
+    trace::count("flatten.rule.G7");
     const std::vector<Dim> dims = space_dims(sigma);
     TypeEnv env2 = env;
     SegSpace sigma2 = sigma;
@@ -781,6 +796,7 @@ struct Flattener {
     }
     // Take the innermost binder out and re-derive each branch as a map, so
     // rule G3 immediately sees the whole inner parallelism.
+    trace::count("flatten.rule.G8");
     SegSpace outer(sigma.begin(), sigma.end() - 1);
     const SegBind& inner = sigma.back();
     auto remap = [&](const ExprP& branch) {
@@ -810,6 +826,7 @@ struct Flattener {
       const SegBind& inner = sigma.back();
       auto it = std::find(inner.params.begin(), inner.params.end(), v->name);
       if (it != inner.params.end()) {
+        trace::count("flatten.rule.G5");
         const std::string arr =
             inner.arrays[static_cast<size_t>(it - inner.params.begin())];
         std::vector<int> perm{0};
@@ -838,28 +855,53 @@ struct Flattener {
 
 FlattenResult flatten(const Program& src, FlattenMode mode,
                       const FlattenOptions& opts) {
+  trace::Span span_all("flatten");
   Flattener fl;
   fl.mode = mode;
 
   // Fusion, then A-normalisation (Sec. 2/4): the rules assume map-reduce
   // chains are fused into redomaps and SOACs sit in binding positions.
-  Program anf = normalize_program(opts.fuse ? fuse_program(src) : src);
+  Program fused = src;
+  if (opts.fuse) {
+    trace::Span s("flatten.fuse");
+    fused = fuse_program(std::move(fused));
+  }
+  Program anf;
+  {
+    trace::Span s("flatten.normalize");
+    anf = normalize_program(std::move(fused));
+  }
+  if (trace::enabled()) {
+    trace::count("flatten.fused_soacs", count_fused(anf.body));
+  }
 
   TypeEnv env;
   for (const auto& in : anf.inputs) env[in.name] = in.type;
   for (const auto& sp : anf.size_params()) env[sp] = Type::scalar(Scalar::I64);
 
   // Flattening starts at the GPU grid level (l = 1) with an empty context.
-  ExprP body = fl.transform({}, 1, anf.body, env);
+  ExprP body;
+  {
+    trace::Span s("flatten.transform");
+    body = fl.transform({}, 1, anf.body, env);
+  }
 
   Program out;
   out.name = src.name;
   out.inputs = src.inputs;
   out.extra_sizes = src.extra_sizes;
-  out.body = prune_spaces(body);
-  out = typecheck_program(std::move(out));
-  out = apply_tiling(std::move(out));
-  check_level_discipline(out.body);
+  {
+    trace::Span s("flatten.finalize");
+    out.body = prune_spaces(body);
+    out = typecheck_program(std::move(out));
+    out = apply_tiling(std::move(out));
+    check_level_discipline(out.body);
+  }
+  if (trace::enabled()) {
+    trace::count("flatten.thresholds",
+                 static_cast<int64_t>(fl.thresholds.size()));
+    trace::count("flatten.tiled_kernels", count_tiled(out.body));
+  }
   return FlattenResult{std::move(out), std::move(fl.thresholds)};
 }
 

@@ -18,6 +18,7 @@
 // abort the build via PlanUnsupported and the plan falls back to the
 // legacy walker.
 
+#include <algorithm>
 #include <functional>
 #include <set>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "src/ir/traverse.h"
 #include "src/plan/plan.h"
 #include "src/support/error.h"
+#include "src/support/trace.h"
 
 namespace incflat {
 
@@ -769,9 +771,33 @@ struct Builder {
   }
 };
 
+/// Depth of the decision tree under node `id` (Block steps do not add a
+/// level; Guard/DataCond/Scale do), for the observability gauges.
+int tree_depth(const KernelPlan& plan, int id) {
+  if (id < 0) return 0;
+  const PlanNode& n = plan.nodes[static_cast<size_t>(id)];
+  switch (n.kind) {
+    case PlanNode::Kind::Block: {
+      int d = 0;
+      for (const PlanNode::Step& s : n.steps) {
+        if (!s.is_kernel) d = std::max(d, tree_depth(plan, s.index));
+      }
+      return d;
+    }
+    case PlanNode::Kind::Guard:
+    case PlanNode::Kind::DataCond:
+      return 1 + std::max(tree_depth(plan, n.then_node),
+                          tree_depth(plan, n.else_node));
+    case PlanNode::Kind::Scale:
+      return 1 + tree_depth(plan, n.child);
+  }
+  return 0;
+}
+
 }  // namespace
 
 KernelPlan build_kernel_plan(const Program& p) {
+  trace::Span span("plan.build");
   KernelPlan plan;
   plan.program = p;
   Builder b(plan);
@@ -797,6 +823,19 @@ KernelPlan build_kernel_plan(const Program& p) {
     // A build-time failure (malformed program, untyped name) would equally
     // fail in the legacy walker at estimate time; defer to it.
     fall_back(ex.what());
+  }
+  if (trace::enabled()) {
+    trace::count("plan.builds");
+    if (plan.legacy_fallback) {
+      trace::count("plan.legacy_fallbacks");
+    } else {
+      trace::count("plan.arena_nodes", static_cast<int64_t>(plan.arena.size()));
+      trace::count("plan.tree_nodes", static_cast<int64_t>(plan.nodes.size()));
+      trace::count("plan.kernels", static_cast<int64_t>(plan.kernels.size()));
+      trace::count("plan.guards", static_cast<int64_t>(plan.guards.size()));
+      trace::gauge("plan.tree_depth",
+                   static_cast<int64_t>(tree_depth(plan, plan.root)));
+    }
   }
   return plan;
 }

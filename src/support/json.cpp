@@ -1,6 +1,9 @@
 #include "src/support/json.h"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace incflat {
@@ -28,18 +31,89 @@ Json& Json::set(const std::string& key, Json v) {
   return *this;
 }
 
+bool Json::as_bool() const {
+  if (auto* b = std::get_if<bool>(&node_)) return *b;
+  throw std::logic_error("Json::as_bool on non-bool");
+}
+
+double Json::as_double() const {
+  if (auto* d = std::get_if<double>(&node_)) return *d;
+  throw std::logic_error("Json::as_double on non-number");
+}
+
+const std::string& Json::as_string() const {
+  if (auto* s = std::get_if<std::string>(&node_)) return *s;
+  throw std::logic_error("Json::as_string on non-string");
+}
+
+size_t Json::size() const {
+  if (auto* a = std::get_if<Arr>(&node_)) return a->items.size();
+  if (auto* o = std::get_if<Obj>(&node_)) return o->fields.size();
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  auto* a = std::get_if<Arr>(&node_);
+  if (!a || i >= a->items.size()) {
+    throw std::logic_error("Json::at out of range");
+  }
+  return a->items[i];
+}
+
+const Json* Json::find(const std::string& key) const {
+  auto* o = std::get_if<Obj>(&node_);
+  if (!o) return nullptr;
+  for (const auto& [k, v] : o->fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::get(const std::string& key) const {
+  const Json* v = find(key);
+  if (!v) throw std::logic_error("Json::get: no field '" + key + "'");
+  return *v;
+}
+
 void Json::write_string(std::ostringstream& os, const std::string& s) {
   os << '"';
   for (char c : s) {
     switch (c) {
       case '"': os << "\\\""; break;
       case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
       case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
       case '\t': os << "\\t"; break;
-      default: os << c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
     }
   }
   os << '"';
+}
+
+void Json::write_double(std::ostringstream& os, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN / Infinity literal.
+    os << "null";
+    return;
+  }
+  if (std::floor(d) == d && std::abs(d) < 1e15) {
+    os << static_cast<int64_t>(d);
+    return;
+  }
+  // Shortest representation that round-trips the exact double.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  os.write(buf, res.ptr - buf);
 }
 
 void Json::write(std::ostringstream& os, int indent, int depth) const {
@@ -54,11 +128,7 @@ void Json::write(std::ostringstream& os, int indent, int depth) const {
   } else if (auto* b = std::get_if<bool>(&node_)) {
     os << (*b ? "true" : "false");
   } else if (auto* d = std::get_if<double>(&node_)) {
-    if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
-      os << static_cast<int64_t>(*d);
-    } else {
-      os << *d;
-    }
+    write_double(os, *d);
   } else if (auto* s = std::get_if<std::string>(&node_)) {
     write_string(os, *s);
   } else if (auto* a = std::get_if<Arr>(&node_)) {
@@ -96,6 +166,211 @@ std::string Json::str(int indent) const {
   std::ostringstream os;
   write(os, indent, 0);
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_lit(const char* lit) {
+    size_t n = 0;
+    while (lit[n]) ++n;
+    if (text.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (pos >= text.size()) fail("truncated \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF && text.compare(pos, 2, "\\u") == 0) {
+            // surrogate pair
+            const size_t save = pos;
+            pos += 2;
+            const unsigned lo = hex4();
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              pos = save;
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    double v = 0;
+    const auto res = std::from_chars(text.data() + start, text.data() + pos, v);
+    if (res.ec != std::errc{} || res.ptr != text.data() + pos) {
+      pos = start;
+      fail("bad number");
+    }
+    return v;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json o = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return o;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        o.set(key, parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return o;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json a = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return a;
+      }
+      for (;;) {
+        a.push(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return a;
+      }
+    }
+    if (c == '"') return Json(parse_string());
+    if (consume_lit("true")) return Json(true);
+    if (consume_lit("false")) return Json(false);
+    if (consume_lit("null")) return Json();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return Json(parse_number());
+    }
+    fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  Parser p{text};
+  Json v = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing garbage after document");
+  return v;
 }
 
 }  // namespace incflat

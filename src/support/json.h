@@ -1,8 +1,10 @@
-// Minimal JSON writer.
+// Minimal JSON writer and reader.
 //
 // The paper's artifact emits "raw measurement data in a simple JSON format";
-// the benchmark binaries use this writer to do the same (results/*.json).
-// Writing only — the tuning-file reader uses its own line format.
+// the benchmark binaries use the writer to do the same (results/*.json), and
+// the trace layer (src/support/trace.*) emits Chrome trace-event files with
+// it.  The reader is a strict little recursive-descent parser used to
+// validate those artifacts round-trip (tests) and to load them back.
 #pragma once
 
 #include <map>
@@ -37,13 +39,45 @@ class Json {
     return j;
   }
 
+  /// Parse a JSON document.  Throws std::runtime_error (with an offset)
+  /// on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
   /// Append to an array value.
   Json& push(Json v);
 
   /// Set a key of an object value (inserting or overwriting).
   Json& set(const std::string& key, Json v);
 
-  /// Serialise; `indent` < 0 gives compact output.
+  // -- readers ---------------------------------------------------------------
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(node_); }
+  bool is_bool() const { return std::holds_alternative<bool>(node_); }
+  bool is_number() const { return std::holds_alternative<double>(node_); }
+  bool is_string() const { return std::holds_alternative<std::string>(node_); }
+  bool is_array() const { return std::holds_alternative<Arr>(node_); }
+  bool is_object() const { return std::holds_alternative<Obj>(node_); }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Element count of an array or object (0 for scalars).
+  size_t size() const;
+
+  /// Array element `i`; throws std::logic_error when out of range.
+  const Json& at(size_t i) const;
+
+  /// Object field lookup; null when absent / not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Object field lookup; throws std::logic_error when absent.
+  const Json& get(const std::string& key) const;
+
+  /// Serialise; `indent` < 0 gives compact output.  Numbers use shortest
+  /// round-trip formatting (parse(str()) reproduces every double exactly);
+  /// non-finite doubles, which JSON cannot represent, serialise as null.
   std::string str(int indent = 2) const;
 
  private:
@@ -57,6 +91,7 @@ class Json {
 
   void write(std::ostringstream& os, int indent, int depth) const;
   static void write_string(std::ostringstream& os, const std::string& s);
+  static void write_double(std::ostringstream& os, double d);
 };
 
 }  // namespace incflat

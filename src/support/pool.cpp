@@ -1,6 +1,9 @@
 #include "src/support/pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/support/trace.h"
 
 namespace incflat {
 
@@ -10,7 +13,7 @@ WorkerPool::WorkerPool(int workers) {
   const int n = workers > 0 ? workers : std::min(hw, 8);
   threads_.reserve(static_cast<size_t>(std::max(n - 1, 0)));
   for (int i = 1; i < n; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -23,7 +26,8 @@ WorkerPool::~WorkerPool() {
   for (auto& t : threads_) t.join();
 }
 
-void WorkerPool::drain(std::unique_lock<std::mutex>& lk) {
+void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
+  int64_t done = 0;
   while (next_ < n_) {
     const int ix = next_++;
     const std::function<void(int)>* fn = fn_;
@@ -34,12 +38,18 @@ void WorkerPool::drain(std::unique_lock<std::mutex>& lk) {
     } catch (...) {
       e = std::current_exception();
     }
+    ++done;
     lk.lock();
     if (e && !err_) err_ = e;
   }
+  // Per-worker utilization: how evenly run() batches spread over the pool.
+  if (done > 0 && trace::enabled()) {
+    trace::count("pool.tasks", done);
+    trace::count("pool.worker" + std::to_string(worker) + ".tasks", done);
+  }
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(int worker) {
   std::unique_lock<std::mutex> lk(mu_);
   uint64_t seen = 0;
   for (;;) {
@@ -47,7 +57,7 @@ void WorkerPool::worker_loop() {
     if (stop_) return;
     seen = generation_;
     ++active_;
-    drain(lk);
+    drain(lk, worker);
     --active_;
     if (active_ == 0 && next_ >= n_) cv_done_.notify_all();
   }
@@ -55,6 +65,7 @@ void WorkerPool::worker_loop() {
 
 void WorkerPool::run(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  trace::Span span("pool.run", "pool");
   std::unique_lock<std::mutex> lk(mu_);
   fn_ = &fn;
   n_ = n;
@@ -62,7 +73,7 @@ void WorkerPool::run(int n, const std::function<void(int)>& fn) {
   err_ = nullptr;
   ++generation_;
   cv_start_.notify_all();
-  drain(lk);
+  drain(lk, 0);
   cv_done_.wait(lk, [&] { return active_ == 0 && next_ >= n_; });
   fn_ = nullptr;
   if (err_) {

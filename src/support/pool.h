@@ -33,8 +33,8 @@ class WorkerPool {
   int width() const { return static_cast<int>(threads_.size()) + 1; }
 
  private:
-  void worker_loop();
-  void drain(std::unique_lock<std::mutex>& lk);
+  void worker_loop(int worker);
+  void drain(std::unique_lock<std::mutex>& lk, int worker);
 
   std::mutex mu_;
   std::condition_variable cv_start_, cv_done_;

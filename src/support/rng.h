@@ -23,10 +23,21 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.  Exactly
+  /// uniform: the full-range case (span wraps to 0, where a naive modulo
+  /// would divide by zero) returns a raw draw, and all other spans use
+  /// rejection sampling to discard the biased tail of the 2^64 range (the
+  /// rejection probability is span/2^64, negligible for the small spans
+  /// used here, so determinism across platforms is preserved in practice
+  /// and by the seeded tests).
   int64_t uniform_int(int64_t lo, int64_t hi) {
-    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-    return lo + static_cast<int64_t>(next() % span);
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(next());
+    const uint64_t tail = (0 - span) % span;  // 2^64 mod span
+    uint64_t r = next();
+    while (r < tail) r = next();
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + r % span);
   }
 
   /// Uniform double in [0, 1).

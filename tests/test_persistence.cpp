@@ -72,9 +72,43 @@ TEST(TuningFile, ParsesCommentsAndBlanks) {
   EXPECT_EQ(env.values.at("suff_outer_par_0"), 42);
 }
 
+TEST(TuningFile, TrimsWhitespaceAroundKeysAndValues) {
+  ThresholdEnv env = tuning_from_string(
+      "  default = 16\n\t suff_outer_par_0\t=  128  \n");
+  EXPECT_EQ(env.default_threshold, 16);
+  EXPECT_EQ(env.values.at("suff_outer_par_0"), 128);
+}
+
 TEST(TuningFile, RejectsMalformedLines) {
   EXPECT_THROW(tuning_from_string("no_equals_sign\n"), EvalError);
   EXPECT_THROW(tuning_from_string("t0=notanumber\n"), EvalError);
+  // A numeric prefix followed by garbage used to be silently accepted.
+  EXPECT_THROW(tuning_from_string("t0=16abc\n"), EvalError);
+  EXPECT_THROW(tuning_from_string("t0=\n"), EvalError);
+  EXPECT_THROW(tuning_from_string("=16\n"), EvalError);
+}
+
+TEST(TuningFile, ErrorsNameTheOffendingLine) {
+  try {
+    tuning_from_string("# fine\nt0=1\nt1=2junk\n");
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TuningFile, ToStringThenFromStringIsIdentity) {
+  ThresholdEnv env;
+  env.default_threshold = 7;
+  env.values = {{"suff_outer_par_0", 1},
+                {"suff_intra_par_1", 1 << 30},
+                {"t_weird_name", 999}};
+  ThresholdEnv back = tuning_from_string(tuning_to_string(env));
+  EXPECT_EQ(back.default_threshold, env.default_threshold);
+  EXPECT_EQ(back.values, env.values);
+  // And once more: serialization of the reparse is a fixed point.
+  EXPECT_EQ(tuning_to_string(back), tuning_to_string(env));
 }
 
 TEST(TuningFile, SaveAndLoadFile) {

@@ -1,10 +1,13 @@
 // Unit tests: support utilities — table printer, chart renderer, string
-// formatting, deterministic RNG.
+// formatting, deterministic RNG, JSON round-trips.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "src/support/chart.h"
+#include "src/support/json.h"
 #include "src/support/rng.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -87,6 +90,107 @@ TEST(Rng, FlipIsRoughlyFair) {
   for (int i = 0; i < 2000; ++i) heads += r.flip() ? 1 : 0;
   EXPECT_GT(heads, 850);
   EXPECT_LT(heads, 1150);
+}
+
+TEST(Rng, FullInt64RangeDoesNotDivideByZero) {
+  // span == 2^64 used to compute `next() % 0`.  Any draw is in range by
+  // construction; the point is that it terminates without UB.
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    (void)r.uniform_int(std::numeric_limits<int64_t>::min(),
+                        std::numeric_limits<int64_t>::max());
+  }
+}
+
+TEST(Rng, ExtremeBoundsStayInRange) {
+  Rng r(11);
+  const int64_t lo = std::numeric_limits<int64_t>::min();
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = r.uniform_int(lo, lo + 9);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, lo + 9);
+  }
+  const int64_t hi = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = r.uniform_int(hi - 9, hi);
+    EXPECT_GE(v, hi - 9);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Rng, SmallSpanHitsEveryValue) {
+  // Rejection sampling must still cover the whole interval.
+  Rng r(3);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[r.uniform_int(10, 14) - 10] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Json, EscapesControlCharactersAndRoundTrips) {
+  const std::string nasty = "line\nfeed\ttab\rret\bback\fform\x01unit\"q\\s";
+  const std::string out = Json(nasty).str();
+  // The serialized form must not contain raw control bytes.
+  for (unsigned char c : out) EXPECT_GE(c, 0x20u) << "raw control char in: "
+                                                  << out;
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\r"), std::string::npos);
+  EXPECT_NE(out.find("\\b"), std::string::npos);
+  EXPECT_NE(out.find("\\f"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(Json::parse(out).as_string(), nasty);
+}
+
+TEST(Json, DoubleSerializationRoundTrips) {
+  for (double d : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, 123456789.123456789,
+                   -0.0625, 1e15 + 1, 12345.0, 0.0}) {
+    const std::string out = Json(d).str();
+    EXPECT_EQ(Json::parse(out).as_double(), d) << "lossy via " << out;
+  }
+  // Integral doubles keep printing without an exponent or fraction.
+  EXPECT_EQ(Json(42.0).str(), "42");
+  // Non-finite values are not valid JSON numbers; we emit null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).str(), "null");
+}
+
+TEST(Json, ParserHandlesEscapesAndStructure) {
+  const Json doc = Json::parse(
+      R"({"a": [1, 2.5, true, false, null], "s": "x\u0041\n\u00e9\ud83d\ude00"})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get("a").size(), 5u);
+  EXPECT_EQ(doc.get("a").at(1).as_double(), 2.5);
+  EXPECT_TRUE(doc.get("a").at(2).as_bool());
+  EXPECT_TRUE(doc.get("a").at(4).is_null());
+  // \u0041 = 'A', \u00e9 = e-acute (2-byte UTF-8), the surrogate pair
+  // \ud83d\ude00 decodes to U+1F600 (4-byte UTF-8).
+  EXPECT_EQ(doc.get("s").as_string(), "xA\n\xc3\xa9\xf0\x9f\x98\x80");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} junk"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, NestedDocumentRoundTrips) {
+  Json j = Json::object();
+  j.set("name", "bench\t1")
+      .set("ok", true)
+      .set("t", 0.1 + 0.2);
+  Json arr = Json::array();
+  arr.push(Json(1.0)).push(Json("two")).push(Json());
+  j.set("items", std::move(arr));
+  const Json back = Json::parse(j.str());
+  EXPECT_EQ(back.get("name").as_string(), "bench\t1");
+  EXPECT_TRUE(back.get("ok").as_bool());
+  EXPECT_EQ(back.get("t").as_double(), 0.1 + 0.2);
+  EXPECT_EQ(back.get("items").size(), 3u);
+  EXPECT_TRUE(back.get("items").at(2).is_null());
+  // Serializing the reparsed document is a fixed point.
+  EXPECT_EQ(back.str(), j.str());
 }
 
 }  // namespace

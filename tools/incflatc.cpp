@@ -15,6 +15,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "src/autotune/autotune.h"
 #include "src/autotune/tuning_file.h"
@@ -26,6 +27,7 @@
 #include "src/support/json.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
+#include "src/support/trace.h"
 
 namespace incflat {
 namespace {
@@ -45,6 +47,9 @@ struct Options {
   bool exhaustive = false;
   bool oracle = false;
   bool json = false;
+  bool stats = false;
+  bool trace = false;
+  std::string trace_out = "trace.json";
 };
 
 int usage() {
@@ -64,7 +69,12 @@ int usage() {
       "  --plan                      print kernel-plan statistics\n"
       "  --oracle                    price with the legacy IR walker instead\n"
       "                              of the kernel plan (debug oracle)\n"
-      "  --json                      machine-readable output\n";
+      "  --json                      machine-readable output\n"
+      "  --trace[=FILE]              write a Chrome trace-event JSON of the\n"
+      "                              pipeline (default trace.json); open in\n"
+      "                              chrome://tracing or ui.perfetto.dev\n"
+      "  --stats                     print per-phase timings and pipeline\n"
+      "                              counters after the run\n";
   return 2;
 }
 
@@ -103,6 +113,14 @@ std::optional<Options> parse(int argc, char** argv) {
       o.oracle = true;
     } else if (a == "--json") {
       o.json = true;
+    } else if (a == "--stats") {
+      o.stats = true;
+    } else if (a == "--trace") {
+      o.trace = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      o.trace = true;
+      o.trace_out = a.substr(std::string("--trace=").size());
+      if (o.trace_out.empty()) return std::nullopt;
     } else {
       std::cerr << "unknown option: " << a << "\n";
       return std::nullopt;
@@ -111,7 +129,32 @@ std::optional<Options> parse(int argc, char** argv) {
   return o;
 }
 
+/// Enables the trace layer for the duration of run() and flushes the
+/// requested sinks (summary table to stderr, Chrome JSON to a file) on the
+/// way out, also on early returns.
+struct TraceSinks {
+  const Options& o;
+  explicit TraceSinks(const Options& opts) : o(opts) {
+    if (o.trace || o.stats) {
+      trace::reset();
+      trace::set_enabled(true);
+    }
+  }
+  ~TraceSinks() {
+    if (o.stats) trace::print_summary(std::cerr);
+    if (o.trace) {
+      try {
+        trace::write_chrome(o.trace_out);
+        std::cerr << "wrote trace to " << o.trace_out << "\n";
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+      }
+    }
+  }
+};
+
 int run(const Options& o) {
+  TraceSinks sinks(o);
   if (o.list) {
     Table t({"benchmark", "datasets", "training sets", "reference"});
     for (const auto& name : all_benchmark_names()) {
@@ -140,10 +183,13 @@ int run(const Options& o) {
 
   FlattenOptions fo;
   fo.fuse = mode != FlattenMode::Moderate || b.fuse_moderate;
-  FlattenResult fr = flatten(b.program, mode, fo);
-
   // The plan is built once per compile and shared by simulation and tuning.
-  const KernelPlan plan = build_kernel_plan(fr.program);
+  auto [fr, plan] = [&] {
+    trace::Span compile_span("compile");
+    FlattenResult r = flatten(b.program, mode, fo);
+    KernelPlan pl = build_kernel_plan(r.program);
+    return std::make_pair(std::move(r), std::move(pl));
+  }();
 
   if (o.print_ir) {
     std::cout << pretty(fr.program);
@@ -194,9 +240,18 @@ int run(const Options& o) {
       std::cerr << "unknown dataset " << o.dataset << "\n";
       return 2;
     }
-    RunEstimate est =
-        o.oracle ? estimate_run(dev, fr.program, ds->sizes, thresholds)
-                 : plan_estimate_run(plan, dev, ds->sizes, thresholds);
+    RunEstimate est = [&] {
+      trace::Span sim_span("exec.simulate");
+      return o.oracle ? estimate_run(dev, fr.program, ds->sizes, thresholds)
+                      : plan_estimate_run(plan, dev, ds->sizes, thresholds);
+    }();
+    if (trace::enabled()) {
+      trace::count("exec.simulations");
+      trace::count("exec.kernel_launches", est.kernel_launches);
+      trace::count("exec.global_bytes",
+                   static_cast<int64_t>(est.total.gbytes));
+      trace::count("exec.local_bytes", static_cast<int64_t>(est.total.lbytes));
+    }
     if (o.json) {
       Json j = Json::object();
       j.set("benchmark", b.name)
