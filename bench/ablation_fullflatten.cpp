@@ -28,10 +28,10 @@ int run() {
   double worst = 0;
   std::vector<double> ratios;
   for (const auto& base : bulk_benchmarks()) {
-    FlattenResult inc = flatten(base.program, FlattenMode::Incremental);
-    FlattenResult full = flatten(base.program, FlattenMode::Full);
-    const KernelPlan inc_plan = build_kernel_plan(inc.program);
-    const KernelPlan full_plan = build_kernel_plan(full.program);
+    const Compiled inc = compile(base.program, FlattenMode::Incremental);
+    const Compiled full = compile(base.program, FlattenMode::Full);
+    const KernelPlan& inc_plan = *inc.plan;
+    const KernelPlan& full_plan = *full.plan;
     for (const auto& d : base.datasets) {
       const double ti = bench::sim(inc_plan, dev, d.sizes).time_us;
       const double tf = bench::sim(full_plan, dev, d.sizes).time_us;

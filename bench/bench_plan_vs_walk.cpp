@@ -14,6 +14,7 @@
 
 #include "src/autotune/autotune.h"
 #include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
 #include "src/flatten/flatten.h"
 #include "src/plan/plan.h"
 #include "src/support/json.h"
@@ -42,7 +43,8 @@ struct Row {
 Row measure(const std::string& name) {
   const Benchmark b = get_benchmark(name);
   const DeviceProfile dev = device_k40();
-  FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
+  const Compiled compiled = compile(b.program, FlattenMode::Incremental);
+  const FlattenResult& inc = compiled.flat;
   std::vector<TuningDataset> train;
   for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
 
@@ -73,7 +75,7 @@ Row measure(const std::string& name) {
 
   // Raw back-to-back cost evaluations, outside the tuner (no dedup, no
   // search overhead): the per-candidate cost of each back end.
-  const KernelPlan plan = build_kernel_plan(inc.program);
+  const KernelPlan& plan = *compiled.plan;
   std::vector<PlanDatasetCache> caches;
   for (const auto& d : train) caches.emplace_back(plan, dev, d.sizes);
   const ThresholdEnv thr;

@@ -27,10 +27,10 @@ int run() {
   Benchmark b = get_benchmark("matmul");
   const std::vector<DeviceProfile> devices{device_k40(), device_vega64()};
 
-  FlattenResult mf = flatten(b.program, FlattenMode::Moderate);
-  FlattenResult inc = flatten(b.program, FlattenMode::Incremental);
-  const KernelPlan mf_plan = build_kernel_plan(mf.program);
-  const KernelPlan inc_plan = build_kernel_plan(inc.program);
+  const Compiled mf = compile(b.program, FlattenMode::Moderate);
+  const Compiled inc = compile(b.program, FlattenMode::Incremental);
+  const KernelPlan& mf_plan = *mf.plan;
+  const KernelPlan& inc_plan = *inc.plan;
 
   // Train on the k=20 sweep (paper Sec. 2.2).
   std::vector<TuningDataset> train;
@@ -42,7 +42,7 @@ int run() {
   Checks checks;
   for (const auto& dev : devices) {
     TuningReport rep =
-        exhaustive_tune(dev, inc.program, inc.thresholds, train);
+        exhaustive_tune(dev, inc.flat.program, inc.flat.thresholds, train);
     for (int k_total : {20, 25}) {
       std::cout << "\n=== Figure 2: matmul, constant work 2^" << k_total
                 << ", device " << dev.name << " ===\n";

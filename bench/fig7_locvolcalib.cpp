@@ -22,9 +22,9 @@ int run() {
     Table tab({"dataset", "MF(us)", "IF", "AIF", "FinPar-Out", "FinPar-All"});
     std::map<std::string, std::map<std::string, double>> sp;
     for (const auto& d : t.bench.datasets) {
-      const double mf = bench::sim(t.plan_moderate, dev, d.sizes).time_us;
-      const double un = bench::sim(t.plan_incremental, dev, d.sizes).time_us;
-      const double aif = bench::sim(t.plan_incremental, dev, d.sizes,
+      const double mf = bench::sim(*t.moderate.plan, dev, d.sizes).time_us;
+      const double un = bench::sim(*t.incremental.plan, dev, d.sizes).time_us;
+      const double aif = bench::sim(*t.incremental.plan, dev, d.sizes,
                                     t.tuned.at(dev.name))
                              .time_us;
       const double fo = reference_finpar_out(dev, d.sizes);
@@ -62,7 +62,7 @@ int run() {
   // large dataset on K40 (outer parallelism, sequential tridag).
   {
     const DeviceProfile k40 = device_k40();
-    RunEstimate big = bench::sim(t.plan_incremental, device_k40(),
+    RunEstimate big = bench::sim(*t.incremental.plan, device_k40(),
                                  t.bench.datasets[2].sizes,
                                  t.tuned.at("k40"));
     bool intra = false;
@@ -72,7 +72,7 @@ int run() {
     checks.expect(!intra,
                   "k40/large: tuned program selects the sequential-tridag "
                   "version (no intra-group kernels)");
-    RunEstimate v = bench::sim(t.plan_incremental, device_vega64(),
+    RunEstimate v = bench::sim(*t.incremental.plan, device_vega64(),
                                t.bench.datasets[0].sizes,
                                t.tuned.at("vega64"));
     bool intra_v = false;

@@ -25,10 +25,10 @@ int run() {
     for (const auto& base : bulk_benchmarks()) {
       bench::TunedBench t = prepare(base, {dev});
       for (const auto& d : t.bench.datasets) {
-        const double mf = bench::sim(t.plan_moderate, dev, d.sizes).time_us;
+        const double mf = bench::sim(*t.moderate.plan, dev, d.sizes).time_us;
         const double un =
-            bench::sim(t.plan_incremental, dev, d.sizes).time_us;
-        const double aif = bench::sim(t.plan_incremental, dev, d.sizes,
+            bench::sim(*t.incremental.plan, dev, d.sizes).time_us;
+        const double aif = bench::sim(*t.incremental.plan, dev, d.sizes,
                                       t.tuned.at(dev.name))
                                .time_us;
         const double ref =
@@ -69,11 +69,11 @@ int run() {
       bench::TunedBench t = prepare(get_benchmark(name), {dev});
       const auto& d = t.bench.datasets[static_cast<size_t>(ds)];
       if (tuned_aif) {
-        return bench::sim(t.plan_incremental, dev, d.sizes,
+        return bench::sim(*t.incremental.plan, dev, d.sizes,
                           t.tuned.at(dev.name))
             .time_us;
       }
-      return bench::sim(t.plan_moderate, dev, d.sizes).time_us;
+      return bench::sim(*t.moderate.plan, dev, d.sizes).time_us;
     };
     auto ref_of = [&](const char* name, int ds) {
       Benchmark b = get_benchmark(name);

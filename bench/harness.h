@@ -73,16 +73,14 @@ inline const bool trace_session_init = (trace_session(), true);
 }  // namespace detail
 
 /// A compiled benchmark with tuned thresholds per device.  Each flattening
-/// mode carries its compile-once kernel plan; all pricing below goes
-/// through the plans (bit-identical to the legacy IR walker).
+/// mode is a full exec::compile() product (target program + thresholds +
+/// compile-once kernel plan); all pricing below goes through the plans
+/// (bit-identical to the legacy IR walker).
 struct TunedBench {
   Benchmark bench;
-  FlattenResult moderate;
-  FlattenResult incremental;
-  FlattenResult full;
-  KernelPlan plan_moderate;
-  KernelPlan plan_incremental;
-  KernelPlan plan_full;
+  Compiled moderate;
+  Compiled incremental;
+  Compiled full;
   std::map<std::string, ThresholdEnv> tuned;  // device name -> thresholds
   std::map<std::string, TuningReport> reports;
 };
@@ -104,23 +102,20 @@ inline TunedBench prepare(const Benchmark& b,
   trace::Span span("bench.prepare");
   TunedBench t;
   t.bench = b;
-  FlattenOptions mf_opts;
-  mf_opts.fuse = b.fuse_moderate;
-  t.moderate = flatten(b.program, FlattenMode::Moderate, mf_opts);
-  t.incremental = flatten(b.program, FlattenMode::Incremental);
-  t.full = flatten(b.program, FlattenMode::Full);
-  t.plan_moderate = build_kernel_plan(t.moderate.program);
-  t.plan_incremental = build_kernel_plan(t.incremental.program);
-  t.plan_full = build_kernel_plan(t.full.program);
+  CompileOptions mf_opts;
+  mf_opts.flatten.fuse = b.fuse_moderate;
+  t.moderate = compile(b.program, FlattenMode::Moderate, mf_opts);
+  t.incremental = compile(b.program, FlattenMode::Incremental);
+  t.full = compile(b.program, FlattenMode::Full);
   std::vector<TuningDataset> train;
   for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
   for (const auto& dev : devices) {
     TuningReport rep =
         exhaustive
-            ? exhaustive_tune(dev, t.incremental.program,
-                              t.incremental.thresholds, train)
-            : autotune(dev, t.incremental.program, t.incremental.thresholds,
-                       train);
+            ? exhaustive_tune(dev, t.incremental.flat.program,
+                              t.incremental.flat.thresholds, train)
+            : autotune(dev, t.incremental.flat.program,
+                       t.incremental.flat.thresholds, train);
     t.tuned[dev.name] = rep.best;
     t.reports[dev.name] = rep;
   }

@@ -1,7 +1,9 @@
 #include "src/exec/exec.h"
 
 #include <sstream>
+#include <utility>
 
+#include "src/pass/pass.h"
 #include "src/support/str.h"
 #include "src/support/trace.h"
 
@@ -21,13 +23,38 @@ void trace_estimate(const RunEstimate& est) {
 
 }  // namespace
 
-Compiled compile(const Program& src, FlattenMode mode) {
+Compiled compile(const Program& src, FlattenMode mode,
+                 const CompileOptions& opts) {
   trace::Span span("compile");
+
+  PassManager pm;
+  if (opts.passes.empty()) {
+    pm = compile_pipeline(mode);
+  } else {
+    for (const auto& name : opts.passes) {
+      pm.add(name == "transform" ? mode_name(mode) : name);
+    }
+  }
+
+  PipelineState st;
+  st.program = src;
+  st.mode = mode;
+  st.options = opts.flatten;
+
+  PassManagerOptions po;
+  po.verify_each = opts.verify_each;
+  if (opts.after_pass) {
+    po.after_pass = [&opts](const Pass& p, const PipelineState& s) {
+      opts.after_pass(p.name(), s.program);
+    };
+  }
+  pm.run(st, po);
+
   Compiled c;
   c.source = src;
-  c.flat = flatten(src, mode);
   c.mode = mode;
-  c.plan = std::make_shared<const KernelPlan>(build_kernel_plan(c.flat.program));
+  c.flat = FlattenResult{std::move(st.program), std::move(st.thresholds)};
+  c.plan = std::move(st.plan);
   return c;
 }
 

@@ -3,7 +3,10 @@
 // and/or execute it for values via the reference interpreter.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/flatten/flatten.h"
 #include "src/gpusim/cost.h"
@@ -22,9 +25,30 @@ struct Compiled {
   std::shared_ptr<const KernelPlan> plan;  // built once by compile()
 };
 
-/// Flatten `src` (which must be type-annotated) under `mode` and lower the
-/// result into a KernelPlan.
-Compiled compile(const Program& src, FlattenMode mode);
+/// How to compile: flattening options plus (optionally) a custom pass
+/// pipeline.  The default — empty `passes` — runs the canned pipeline
+/// (src/pass/pass.h): fusion, normalize, <mode>, prune-segbinds, tiling,
+/// plan-build.
+struct CompileOptions {
+  FlattenOptions flatten;
+  /// Pass names (see pass_names()) to run instead of the canned pipeline.
+  /// The name "transform" is an alias for the mode's transform pass.  If
+  /// "plan-build" is omitted, Compiled::plan stays null and simulate()
+  /// falls back to the legacy IR-walking estimator.
+  std::vector<std::string> passes;
+  /// Verify structural IR invariants after every pass (src/ir/verify.h).
+  bool verify_each = false;
+  /// Observer called with each pass's name and the program after it ran
+  /// (e.g. incflatc --print-after).
+  std::function<void(const std::string& pass, const Program& program)>
+      after_pass;
+};
+
+/// Compile `src` (which must be type-annotated) under `mode`: run the pass
+/// pipeline, producing the flattened program, its thresholds and the
+/// KernelPlan.
+Compiled compile(const Program& src, FlattenMode mode,
+                 const CompileOptions& opts = {});
 
 /// Price one run of the compiled program on `dev` for dataset `sizes`, via
 /// the kernel plan (bit-identical to the legacy estimate_run IR walk, which

@@ -22,6 +22,8 @@
 // level 0.  Flattening starts at level 1 with an empty map-nest context.
 #pragma once
 
+#include <string>
+
 #include "src/flatten/thresholds.h"
 #include "src/ir/expr.h"
 
@@ -30,6 +32,10 @@ namespace incflat {
 enum class FlattenMode { Moderate, Incremental, Full };
 
 const char* mode_name(FlattenMode m);
+
+/// Inverse of mode_name; throws CompilerError (listing the valid modes) on
+/// an unknown name.
+FlattenMode mode_from_name(const std::string& name);
 
 struct FlattenResult {
   Program program;               // target program, type-annotated

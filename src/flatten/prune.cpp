@@ -1,0 +1,75 @@
+#include "src/flatten/prune.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/traverse.h"
+
+namespace incflat {
+
+namespace {
+
+/// Drop seg-space bindings whose parameters are used neither by the body
+/// (or combine operator) nor as the source array of a deeper binding.
+SegOpE prune_segop(const SegOpE& so) {
+  std::set<std::string> used = free_vars(so.body);
+  if (so.op != SegOpE::Op::Map) {
+    for (const auto& fv : free_vars(so.combine.body)) used.insert(fv);
+    for (const auto& p : so.combine.params) used.erase(p.name);
+  }
+  SegOpE out = so;
+  for (size_t k = out.space.size(); k > 0; --k) {
+    SegBind& b = out.space[k - 1];
+    std::vector<std::string> params, arrays;
+    for (size_t i = 0; i < b.params.size(); ++i) {
+      if (used.count(b.params[i])) {
+        params.push_back(b.params[i]);
+        arrays.push_back(b.arrays[i]);
+        used.insert(b.arrays[i]);
+      }
+    }
+    b.params = std::move(params);
+    b.arrays = std::move(arrays);
+  }
+  return out;
+}
+
+std::vector<ExprP> prune_list(const std::vector<ExprP>& es) {
+  std::vector<ExprP> out;
+  out.reserve(es.size());
+  for (const auto& x : es) out.push_back(prune_seg_spaces(x));
+  return out;
+}
+
+}  // namespace
+
+ExprP prune_seg_spaces(const ExprP& e) {
+  if (!e) return e;
+  if (auto* so = e->as<SegOpE>()) {
+    SegOpE out = prune_segop(*so);
+    out.body = prune_seg_spaces(so->body);
+    return mk(std::move(out), e->types);
+  }
+  if (auto* l = e->as<LetE>()) {
+    return mk(
+        LetE{l->vars, prune_seg_spaces(l->rhs), prune_seg_spaces(l->body)},
+        e->types);
+  }
+  if (auto* lp = e->as<LoopE>()) {
+    return mk(LoopE{lp->params, prune_list(lp->inits), lp->ivar, lp->count,
+                    prune_seg_spaces(lp->body)},
+              e->types);
+  }
+  if (auto* i = e->as<IfE>()) {
+    return mk(
+        IfE{i->cond, prune_seg_spaces(i->then_e), prune_seg_spaces(i->else_e)},
+        e->types);
+  }
+  if (auto* t = e->as<TupleE>()) {
+    return mk(TupleE{prune_list(t->elems)}, e->types);
+  }
+  return e;
+}
+
+}  // namespace incflat

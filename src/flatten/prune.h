@@ -1,0 +1,18 @@
+// Dead seg-space binding pruning.
+//
+// G6/G7 chain every distributed value through the whole map-nest context,
+// so manifested seg-ops otherwise carry dead parameters that a real code
+// generator would never stage.  This pass drops seg-space bindings whose
+// parameters are used neither by the seg-op body (or combine operator) nor
+// as the source array of a deeper binding.
+#pragma once
+
+#include "src/ir/expr.h"
+
+namespace incflat {
+
+/// Prune dead seg-space bindings in every seg-op reachable from `e`.
+/// Preserves existing type annotations; does not re-typecheck.
+ExprP prune_seg_spaces(const ExprP& e);
+
+}  // namespace incflat

@@ -1,0 +1,28 @@
+// The mode transform: flattening rules G0–G9 (paper Fig. 3/4).
+//
+// This is the core rewrite stage of the pipeline.  It consumes a fused,
+// A-normalised, type-annotated source program and produces the target-IR
+// body (seg-ops with map-nest contexts; guarded multi-versioned code under
+// incremental flattening) plus the registry of threshold parameters created
+// for the guards.  It does not prune dead seg-space bindings, re-annotate,
+// or run tiling detection — those are separate downstream passes (see
+// src/pass/).
+#pragma once
+
+#include "src/flatten/flatten.h"
+#include "src/flatten/thresholds.h"
+#include "src/ir/expr.h"
+
+namespace incflat {
+
+struct TransformResult {
+  ExprP body;                    // target body, not yet re-annotated
+  ThresholdRegistry thresholds;  // empty for Moderate/Full
+};
+
+/// Apply the mode's flattening rules to `anf` (which must be normalised and
+/// type-annotated), starting at the GPU grid level (l = 1) with an empty
+/// map-nest context.
+TransformResult transform_program(const Program& anf, FlattenMode mode);
+
+}  // namespace incflat

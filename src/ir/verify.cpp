@@ -1,0 +1,288 @@
+#include "src/ir/verify.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/ir/print.h"
+#include "src/ir/traverse.h"
+#include "src/ir/typecheck.h"
+
+namespace incflat {
+
+VerifyError::VerifyError(std::string check, std::string context,
+                         const std::string& detail)
+    : CompilerError("verification failed (" + check + ") " + context + ": " +
+                    detail),
+      check_(std::move(check)),
+      context_(std::move(context)) {}
+
+namespace {
+
+struct Verifier {
+  const std::string& context;
+
+  [[noreturn]] void fail(const char* check, const std::string& detail,
+                         const ExprP& site) const {
+    std::string d = detail;
+    if (site) d += "\n  in: " + pretty(site).substr(0, 300);
+    throw VerifyError(check, context, d);
+  }
+
+  // -- guards ---------------------------------------------------------------
+
+  /// True if `e` contains an intra-group code version: a seg-op at hardware
+  /// level >= 1 whose body still has parallel constructs.  Running one
+  /// requires the inner parallelism to fit a single workgroup, so it must be
+  /// guarded by a threshold comparison carrying that fit bound.
+  static bool has_intra_group(const ExprP& e) {
+    if (!e) return false;
+    if (auto* so = e->as<SegOpE>()) {
+      if (so->level >= 1 && count_segops(so->body) > 0) return true;
+      return has_intra_group(so->body) || any_has_intra(so->neutral);
+    }
+    if (auto* b = e->as<BinOpE>()) {
+      return has_intra_group(b->lhs) || has_intra_group(b->rhs);
+    }
+    if (auto* u = e->as<UnOpE>()) return has_intra_group(u->e);
+    if (auto* i = e->as<IfE>()) {
+      return has_intra_group(i->cond) || has_intra_group(i->then_e) ||
+             has_intra_group(i->else_e);
+    }
+    if (auto* l = e->as<LetE>()) {
+      return has_intra_group(l->rhs) || has_intra_group(l->body);
+    }
+    if (auto* lp = e->as<LoopE>()) {
+      return any_has_intra(lp->inits) || has_intra_group(lp->body);
+    }
+    if (auto* t = e->as<TupleE>()) return any_has_intra(t->elems);
+    if (auto* rp = e->as<ReplicateE>()) return has_intra_group(rp->elem);
+    if (auto* ra = e->as<RearrangeE>()) return has_intra_group(ra->e);
+    if (auto* ix = e->as<IndexE>()) {
+      return has_intra_group(ix->arr) || any_has_intra(ix->idxs);
+    }
+    return false;
+  }
+
+  static bool any_has_intra(const std::vector<ExprP>& es) {
+    return std::any_of(es.begin(), es.end(), has_intra_group);
+  }
+
+  /// `fit_guarded` is true while inside the then-arm of a guard whose
+  /// comparison carries a workgroup-fit bound; only there may intra-group
+  /// versions appear, because every other position is reachable when the
+  /// inner parallelism does not fit the device's workgroups.
+  void check_guards(const ExprP& e, bool fit_guarded) const {
+    if (!e) return;
+    if (auto* i = e->as<IfE>()) {
+      if (auto* tc = i->cond->as<ThresholdCmpE>()) {
+        check_guards(i->then_e, fit_guarded || !tc->fit.alts.empty());
+        check_guards(i->else_e, fit_guarded);
+        return;
+      }
+      check_guards(i->cond, fit_guarded);
+      check_guards(i->then_e, fit_guarded);
+      check_guards(i->else_e, fit_guarded);
+      return;
+    }
+    if (e->is<ThresholdCmpE>()) {
+      fail("guards", "threshold comparison outside an if-condition", e);
+    }
+    if (auto* so = e->as<SegOpE>()) {
+      if (!fit_guarded && so->level >= 1 && count_segops(so->body) > 0) {
+        fail("guards",
+             "intra-group version (level-" + std::to_string(so->level) +
+                 " seg-op with parallel body) reachable without a "
+                 "workgroup-fit guard: no feasible fallback arm",
+             e);
+      }
+      check_guards(so->body, fit_guarded);
+      for (const auto& n : so->neutral) check_guards(n, fit_guarded);
+      if (so->op != SegOpE::Op::Map) check_guards(so->combine.body, fit_guarded);
+      return;
+    }
+    if (auto* b = e->as<BinOpE>()) {
+      check_guards(b->lhs, fit_guarded);
+      check_guards(b->rhs, fit_guarded);
+    } else if (auto* u = e->as<UnOpE>()) {
+      check_guards(u->e, fit_guarded);
+    } else if (auto* l = e->as<LetE>()) {
+      check_guards(l->rhs, fit_guarded);
+      check_guards(l->body, fit_guarded);
+    } else if (auto* lp = e->as<LoopE>()) {
+      for (const auto& x : lp->inits) check_guards(x, fit_guarded);
+      check_guards(lp->count, fit_guarded);
+      check_guards(lp->body, fit_guarded);
+    } else if (auto* t = e->as<TupleE>()) {
+      for (const auto& x : t->elems) check_guards(x, fit_guarded);
+    } else if (auto* rp = e->as<ReplicateE>()) {
+      check_guards(rp->elem, fit_guarded);
+    } else if (auto* ra = e->as<RearrangeE>()) {
+      check_guards(ra->e, fit_guarded);
+    } else if (auto* ix = e->as<IndexE>()) {
+      check_guards(ix->arr, fit_guarded);
+      for (const auto& x : ix->idxs) check_guards(x, fit_guarded);
+    } else if (auto* m = e->as<MapE>()) {
+      for (const auto& x : m->arrays) check_guards(x, fit_guarded);
+      check_guards(m->f.body, fit_guarded);
+    } else if (auto* r = e->as<ReduceE>()) {
+      for (const auto& x : r->neutral) check_guards(x, fit_guarded);
+      for (const auto& x : r->arrays) check_guards(x, fit_guarded);
+      check_guards(r->op.body, fit_guarded);
+    } else if (auto* s = e->as<ScanE>()) {
+      for (const auto& x : s->neutral) check_guards(x, fit_guarded);
+      for (const auto& x : s->arrays) check_guards(x, fit_guarded);
+      check_guards(s->op.body, fit_guarded);
+    } else if (auto* rm = e->as<RedomapE>()) {
+      for (const auto& x : rm->neutral) check_guards(x, fit_guarded);
+      for (const auto& x : rm->arrays) check_guards(x, fit_guarded);
+      check_guards(rm->red.body, fit_guarded);
+      check_guards(rm->mapf.body, fit_guarded);
+    } else if (auto* sm = e->as<ScanomapE>()) {
+      for (const auto& x : sm->neutral) check_guards(x, fit_guarded);
+      for (const auto& x : sm->arrays) check_guards(x, fit_guarded);
+      check_guards(sm->red.body, fit_guarded);
+      check_guards(sm->mapf.body, fit_guarded);
+    }
+    // VarE / ConstE / IotaE: leaves.
+  }
+
+  // -- segbinds -------------------------------------------------------------
+
+  /// Scope-tracking walk: `scope` holds every name bound at this point.
+  /// For each seg-op, each level's source arrays must resolve to the scope
+  /// extended with the params of strictly outer levels of the same space.
+  void check_segbinds(const ExprP& e, std::set<std::string> scope) const {
+    if (!e) return;
+    if (auto* so = e->as<SegOpE>()) {
+      std::set<std::string> inner = scope;
+      std::set<std::string> space_params;
+      for (size_t lvl = 0; lvl < so->space.size(); ++lvl) {
+        const SegBind& b = so->space[lvl];
+        if (b.params.size() != b.arrays.size()) {
+          fail("segbinds",
+               "seg-space level " + std::to_string(lvl) + " binds " +
+                   std::to_string(b.params.size()) + " params to " +
+                   std::to_string(b.arrays.size()) + " arrays",
+               e);
+        }
+        for (const auto& a : b.arrays) {
+          if (!inner.count(a)) {
+            fail("segbinds",
+                 "dangling seg-space binding: array '" + a +
+                     "' is not bound by an enclosing binder or an outer "
+                     "level of this space",
+                 e);
+          }
+        }
+        for (const auto& p : b.params) {
+          if (!space_params.insert(p).second) {
+            fail("segbinds",
+                 "seg-space binds parameter '" + p + "' twice", e);
+          }
+          inner.insert(p);
+        }
+      }
+      for (const auto& n : so->neutral) check_segbinds(n, scope);
+      if (so->op != SegOpE::Op::Map) {
+        std::set<std::string> cs = inner;
+        for (const auto& p : so->combine.params) cs.insert(p.name);
+        check_segbinds(so->combine.body, cs);
+      }
+      check_segbinds(so->body, inner);
+      return;
+    }
+    if (auto* b = e->as<BinOpE>()) {
+      check_segbinds(b->lhs, scope);
+      check_segbinds(b->rhs, scope);
+    } else if (auto* u = e->as<UnOpE>()) {
+      check_segbinds(u->e, scope);
+    } else if (auto* i = e->as<IfE>()) {
+      check_segbinds(i->cond, scope);
+      check_segbinds(i->then_e, scope);
+      check_segbinds(i->else_e, scope);
+    } else if (auto* l = e->as<LetE>()) {
+      check_segbinds(l->rhs, scope);
+      std::set<std::string> s2 = scope;
+      s2.insert(l->vars.begin(), l->vars.end());
+      check_segbinds(l->body, std::move(s2));
+    } else if (auto* lp = e->as<LoopE>()) {
+      for (const auto& x : lp->inits) check_segbinds(x, scope);
+      check_segbinds(lp->count, scope);
+      std::set<std::string> s2 = scope;
+      s2.insert(lp->params.begin(), lp->params.end());
+      s2.insert(lp->ivar);
+      check_segbinds(lp->body, std::move(s2));
+    } else if (auto* t = e->as<TupleE>()) {
+      for (const auto& x : t->elems) check_segbinds(x, scope);
+    } else if (auto* rp = e->as<ReplicateE>()) {
+      check_segbinds(rp->elem, scope);
+    } else if (auto* ra = e->as<RearrangeE>()) {
+      check_segbinds(ra->e, scope);
+    } else if (auto* ix = e->as<IndexE>()) {
+      check_segbinds(ix->arr, scope);
+      for (const auto& x : ix->idxs) check_segbinds(x, scope);
+    } else if (auto* m = e->as<MapE>()) {
+      for (const auto& x : m->arrays) check_segbinds(x, scope);
+      check_segbinds(m->f.body, with_params(scope, m->f.params));
+    } else if (auto* r = e->as<ReduceE>()) {
+      soac_lambda(r->neutral, r->arrays, r->op, scope);
+    } else if (auto* s = e->as<ScanE>()) {
+      soac_lambda(s->neutral, s->arrays, s->op, scope);
+    } else if (auto* rm = e->as<RedomapE>()) {
+      soac_lambda(rm->neutral, rm->arrays, rm->red, scope);
+      check_segbinds(rm->mapf.body, with_params(scope, rm->mapf.params));
+    } else if (auto* sm = e->as<ScanomapE>()) {
+      soac_lambda(sm->neutral, sm->arrays, sm->red, scope);
+      check_segbinds(sm->mapf.body, with_params(scope, sm->mapf.params));
+    }
+    // VarE / ConstE / IotaE / ThresholdCmpE: nothing to resolve here (plain
+    // unbound variables are the types check's job).
+  }
+
+  static std::set<std::string> with_params(const std::set<std::string>& scope,
+                                           const std::vector<Param>& ps) {
+    std::set<std::string> out = scope;
+    for (const auto& p : ps) out.insert(p.name);
+    return out;
+  }
+
+  void soac_lambda(const std::vector<ExprP>& neutral,
+                   const std::vector<ExprP>& arrays, const Lambda& op,
+                   const std::set<std::string>& scope) const {
+    for (const auto& x : neutral) check_segbinds(x, scope);
+    for (const auto& x : arrays) check_segbinds(x, scope);
+    check_segbinds(op.body, with_params(scope, op.params));
+  }
+};
+
+}  // namespace
+
+void verify_program(const Program& p, const std::string& context,
+                    const VerifyOptions& opts) {
+  Verifier v{context};
+  if (opts.types) {
+    try {
+      typecheck_program(p);
+    } catch (const VerifyError&) {
+      throw;
+    } catch (const CompilerError& e) {
+      throw VerifyError("types", context, e.what());
+    }
+  }
+  if (opts.levels) {
+    try {
+      check_level_discipline(p.body);
+    } catch (const CompilerError& e) {
+      throw VerifyError("levels", context, e.what());
+    }
+  }
+  if (opts.guards) v.check_guards(p.body, false);
+  if (opts.segbinds) {
+    std::set<std::string> scope;
+    for (const auto& in : p.inputs) scope.insert(in.name);
+    for (const auto& sp : p.size_params()) scope.insert(sp);
+    v.check_segbinds(p.body, std::move(scope));
+  }
+}
+
+}  // namespace incflat

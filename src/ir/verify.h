@@ -1,0 +1,64 @@
+// On-demand structural verification of compiler IR.
+//
+// The pipeline's correctness contract is property-tested end to end
+// (tests/test_property.cpp), but property tests only run in the test suite.
+// verify_program promotes the structural parts of those invariants into
+// checks that any pipeline stage can run on its current program:
+//
+//   * types   — the program re-typechecks from scratch (source or target);
+//   * levels  — target level discipline: a level-0 seg-op is fully
+//               sequential, a level-l seg-op directly contains only
+//               level-(l-1) seg-ops;
+//   * guards  — guard exhaustiveness: threshold comparisons appear only as
+//               `if` conditions, and every intra-group code version (a
+//               level>=1 seg-op with parallel body, which must fit a
+//               hardware workgroup) sits in the then-arm of a guard that
+//               carries the matching workgroup-fit bound — so the else-most
+//               fallback arm of every guard chain is feasible on any device;
+//   * segbinds — seg-space well-formedness: per-level params/arrays arity
+//               match, no duplicate parameter within a space, and every
+//               source array resolves to an enclosing binding or an outer
+//               level of the same space (no dangling seg-space bindings).
+//
+// All checks are vacuously true on source programs (which contain no
+// seg-ops and no thresholds), so a verifier can run after *any* pass.
+// Violations throw VerifyError whose message names the failed check and the
+// pipeline context (typically "after pass '<name>'").
+#pragma once
+
+#include <string>
+
+#include "src/ir/expr.h"
+#include "src/support/error.h"
+
+namespace incflat {
+
+/// Verification failure: a structural invariant does not hold.  `check` is
+/// the failed check's name ("types", "levels", "guards", "segbinds");
+/// `context` attributes the failure to a pipeline position.
+class VerifyError : public CompilerError {
+ public:
+  VerifyError(std::string check, std::string context,
+              const std::string& detail);
+
+  const std::string& check() const { return check_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  std::string check_;
+  std::string context_;
+};
+
+struct VerifyOptions {
+  bool types = true;
+  bool levels = true;
+  bool guards = true;
+  bool segbinds = true;
+};
+
+/// Run the selected checks on `p`; throws VerifyError on the first
+/// violation.  `context` names the pipeline position for attribution.
+void verify_program(const Program& p, const std::string& context = "verify",
+                    const VerifyOptions& opts = {});
+
+}  // namespace incflat

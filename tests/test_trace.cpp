@@ -157,8 +157,8 @@ TEST_F(TraceTest, PipelineEmitsPhaseSpansAndCounters) {
   trace::print_summary(os);
   const std::string s = os.str();
   for (const char* phase :
-       {"flatten.transform", "plan.build", "tune.exhaustive",
-        "exec.simulate", "compile"}) {
+       {"pass.incremental", "pass.prune-segbinds", "plan.build",
+        "tune.exhaustive", "exec.simulate", "compile"}) {
     EXPECT_NE(s.find(phase), std::string::npos) << "missing phase " << phase;
   }
 

@@ -1,0 +1,247 @@
+// Negative tests for the on-demand IR verifier (src/ir/verify.h): programs
+// seeded with deliberate structural violations — level-discipline breakage,
+// an intra-group code version with no feasible fallback arm, dangling or
+// malformed seg-space bindings — must each be caught with a diagnostic that
+// names the failed check and the pipeline position it is attributed to.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/ir/builder.h"
+#include "src/ir/typecheck.h"
+#include "src/ir/verify.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+
+Type mat_f32() {
+  return Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")});
+}
+
+/// segmap^1 <xs in xss> BODY, the standard outer nest for these tests.
+ExprP seg1(ExprP body) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")}};
+  so.body = std::move(body);
+  return mk(std::move(so));
+}
+
+/// segred^0 <x in xs> (+) 0 (x): a parallel inner seg-op.
+ExprP segred0_over_xs() {
+  SegOpE so;
+  so.op = SegOpE::Op::Red;
+  so.level = 0;
+  so.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  so.combine = binlam("+", Scalar::F32);
+  so.neutral = {cf32(0)};
+  so.body = var("x");
+  return mk(std::move(so));
+}
+
+Program target_program(ExprP body) {
+  Program p;
+  p.name = "seeded";
+  p.inputs = {{"xss", mat_f32()}};
+  p.body = std::move(body);
+  return p;
+}
+
+VerifyOptions only(bool types, bool levels, bool guards, bool segbinds) {
+  VerifyOptions o;
+  o.types = types;
+  o.levels = levels;
+  o.guards = guards;
+  o.segbinds = segbinds;
+  return o;
+}
+
+TEST(Verify, CleanTargetProgramPasses) {
+  // segmap^1 over a sequentially-executed redomap — the shape moderate
+  // flattening produces.  Sequential SOACs in the body are not seg-ops, so
+  // this is not an intra-group version and needs no guard.
+  Program p = target_program(
+      seg1(redomap(binlam("+", Scalar::F32),
+                   lam({ib::p("x", Type::scalar(Scalar::F32))}, var("x")),
+                   {cf32(0)}, {var("xs")})));
+  p = typecheck_program(std::move(p));
+  EXPECT_NO_THROW(verify_program(p));
+}
+
+TEST(Verify, TypeErrorIsAttributed) {
+  Program p = target_program(add(var("xss"), cf32(1)));  // array + scalar
+  try {
+    verify_program(p, "after pass 'normalize'");
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.check(), "types");
+    EXPECT_EQ(e.context(), "after pass 'normalize'");
+    EXPECT_NE(std::string(e.what()).find("after pass 'normalize'"),
+              std::string::npos);
+  }
+}
+
+TEST(Verify, LevelDisciplineViolationCaught) {
+  // segmap^1 directly containing segmap^1: a level-l seg-op may directly
+  // contain only level-(l-1) seg-ops.
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 1;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  inner.body = add(var("x"), cf32(1));
+  Program p = target_program(seg1(mk(std::move(inner))));
+  p = typecheck_program(std::move(p));
+  try {
+    verify_program(p, "after pass 'tiling'");
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.check(), "levels");
+    EXPECT_EQ(e.context(), "after pass 'tiling'");
+  }
+}
+
+TEST(Verify, UnguardedIntraGroupVersionCaught) {
+  // A level-1 seg-op whose body contains a level-0 seg-op over *parallel*
+  // work is an intra-group version: running it requires the inner
+  // parallelism to fit one workgroup, so reaching it without a
+  // workgroup-fit guard means there is no feasible fallback arm.
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 0;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  inner.body = segred0_over_xs();  // parallel body -> intra-group version
+  Program p = target_program(seg1(mk(std::move(inner))));
+  try {
+    verify_program(p, "after pass 'incremental'",
+                   only(false, false, true, false));
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.check(), "guards");
+    EXPECT_NE(std::string(e.what()).find("no feasible fallback arm"),
+              std::string::npos);
+  }
+}
+
+TEST(Verify, GuardWithoutFitBoundIsNoFallback) {
+  // Guarding the intra-group version with a threshold comparison that does
+  // NOT carry a workgroup-fit bound is still a violation: such a guard can
+  // be taken on any device, so the intra-group arm has no feasibility
+  // escape hatch.
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 0;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  inner.body = segred0_over_xs();
+  ExprP intra = seg1(mk(std::move(inner)));
+  ExprP flat = seg1(add(cf32(0), cf32(0)));
+  ExprP cmp = mk(ThresholdCmpE{"suff_intra_par_0",
+                               SizeExpr::of(Dim::v("n")), SizeExpr{}});
+  Program p = target_program(iff(cmp, intra, flat));
+  EXPECT_THROW(verify_program(p, "verify", only(false, false, true, false)),
+               VerifyError);
+
+  // The same shape with the fit bound present is accepted.
+  ExprP cmp_fit = mk(ThresholdCmpE{"suff_intra_par_0",
+                                   SizeExpr::of(Dim::v("n")),
+                                   SizeExpr::of(Dim::v("m"))});
+  SegOpE inner2;
+  inner2.op = SegOpE::Op::Map;
+  inner2.level = 0;
+  inner2.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  inner2.body = segred0_over_xs();
+  Program ok = target_program(
+      iff(cmp_fit, seg1(mk(std::move(inner2))), seg1(add(cf32(0), cf32(0)))));
+  EXPECT_NO_THROW(
+      verify_program(ok, "verify", only(false, false, true, false)));
+}
+
+TEST(Verify, ThresholdCmpOutsideIfConditionCaught) {
+  ExprP cmp = mk(ThresholdCmpE{"suff_outer_par_0", SizeExpr::of(Dim::v("n")),
+                               SizeExpr{}});
+  Program p = target_program(let1("c", cmp, cf32(1)));
+  try {
+    verify_program(p, "verify", only(false, false, true, false));
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.check(), "guards");
+  }
+}
+
+TEST(Verify, DanglingSegBindingCaught) {
+  // The space's source array "nowhere" is bound neither by an enclosing
+  // binder nor by an outer level of the space.
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"nowhere"}, Dim::v("n")}};
+  so.body = add(var("x"), cf32(1));
+  Program p = target_program(mk(std::move(so)));
+  try {
+    verify_program(p, "after pass 'prune-segbinds'",
+                   only(false, false, false, true));
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.check(), "segbinds");
+    EXPECT_EQ(e.context(), "after pass 'prune-segbinds'");
+    EXPECT_NE(std::string(e.what()).find("dangling"), std::string::npos);
+  }
+}
+
+TEST(Verify, SegSpaceArityMismatchCaught) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x", "y"}, {"xss"}, Dim::v("n")}};
+  so.body = var("x");
+  Program p = target_program(mk(std::move(so)));
+  try {
+    verify_program(p, "verify", only(false, false, false, true));
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.check(), "segbinds");
+  }
+}
+
+TEST(Verify, DuplicateSegSpaceParamCaught) {
+  // Two levels of the same space binding the same parameter name.
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"x"}, {"xss"}, Dim::v("n")},
+              SegBind{{"x"}, {"x"}, Dim::v("m")}};
+  so.body = var("x");
+  Program p = target_program(mk(std::move(so)));
+  EXPECT_THROW(verify_program(p, "verify", only(false, false, false, true)),
+               VerifyError);
+}
+
+TEST(Verify, InnerBindingMayChainThroughOuterLevel) {
+  // The legal chained shape G6 produces: level 2 binds xs from xss, the
+  // deeper level binds x from xs.
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")},
+              SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  so.body = add(var("x"), cf32(1));
+  Program p = target_program(mk(std::move(so)));
+  p = typecheck_program(std::move(p));
+  EXPECT_NO_THROW(verify_program(p));
+}
+
+TEST(Verify, SourceProgramsAreVacuouslyClean) {
+  // Source programs contain no seg-ops and no thresholds, so every check
+  // (beyond types) is vacuous — a verifier can run after any pass.
+  Program p = target_program(map1(
+      lam({ib::p("xs", Type())},
+          reduce(binlam("+", Scalar::F32), {cf32(0)}, {var("xs")})),
+      var("xss")));
+  p = typecheck_program(std::move(p));
+  EXPECT_NO_THROW(verify_program(p, "after pass 'normalize'"));
+}
+
+}  // namespace
+}  // namespace incflat

@@ -50,6 +50,10 @@ struct Options {
   bool stats = false;
   bool trace = false;
   std::string trace_out = "trace.json";
+  bool no_fuse = false;
+  bool verify_each = false;
+  std::string passes;       // comma-separated pass list ("" = canned)
+  std::string print_after;  // pass name, or "all"
 };
 
 int usage() {
@@ -67,6 +71,14 @@ int usage() {
       "  --print-ir                  print the flattened program\n"
       "  --tree                      print the threshold branching tree\n"
       "  --plan                      print kernel-plan statistics\n"
+      "  --no-fuse                   skip pre-flattening fusion (the paper's\n"
+      "                              Sec. 5.3 Backprop ablation)\n"
+      "  --passes LIST               run this comma-separated pass pipeline\n"
+      "                              instead of the canned one ('transform'\n"
+      "                              is an alias for the mode's pass)\n"
+      "  --verify-each               verify IR invariants after every pass\n"
+      "  --print-after PASS          print the program after PASS ran\n"
+      "                              ('all' = after every pass)\n"
       "  --oracle                    price with the legacy IR walker instead\n"
       "                              of the kernel plan (debug oracle)\n"
       "  --json                      machine-readable output\n"
@@ -109,6 +121,14 @@ std::optional<Options> parse(int argc, char** argv) {
       o.print_tree = true;
     } else if (a == "--plan") {
       o.print_plan = true;
+    } else if (a == "--no-fuse") {
+      o.no_fuse = true;
+    } else if (a == "--verify-each") {
+      o.verify_each = true;
+    } else if (a == "--passes") {
+      if (const char* v = next()) o.passes = v; else return std::nullopt;
+    } else if (a == "--print-after") {
+      if (const char* v = next()) o.print_after = v; else return std::nullopt;
     } else if (a == "--oracle") {
       o.oracle = true;
     } else if (a == "--json") {
@@ -173,23 +193,31 @@ int run(const Options& o) {
   if (o.benchmark.empty()) return usage();
   Benchmark b = get_benchmark(o.benchmark);
 
-  FlattenMode mode = FlattenMode::Incremental;
-  if (o.mode == "moderate") mode = FlattenMode::Moderate;
-  else if (o.mode == "full") mode = FlattenMode::Full;
-  else if (o.mode != "incremental") return usage();
+  const FlattenMode mode = mode_from_name(o.mode);
 
   DeviceProfile dev = o.device == "vega64" ? device_vega64() : device_k40();
   if (o.device != "vega64" && o.device != "k40") return usage();
 
-  FlattenOptions fo;
-  fo.fuse = mode != FlattenMode::Moderate || b.fuse_moderate;
+  CompileOptions copts;
+  copts.flatten.fuse =
+      !o.no_fuse && (mode != FlattenMode::Moderate || b.fuse_moderate);
+  copts.verify_each = o.verify_each;
+  for (size_t pos = 0; pos < o.passes.size();) {
+    size_t comma = o.passes.find(',', pos);
+    if (comma == std::string::npos) comma = o.passes.size();
+    if (comma > pos) copts.passes.push_back(o.passes.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (!o.print_after.empty()) {
+    copts.after_pass = [&o](const std::string& pass, const Program& prog) {
+      if (o.print_after == "all" || o.print_after == pass) {
+        std::cout << "-- after " << pass << " --\n" << pretty(prog);
+      }
+    };
+  }
   // The plan is built once per compile and shared by simulation and tuning.
-  auto [fr, plan] = [&] {
-    trace::Span compile_span("compile");
-    FlattenResult r = flatten(b.program, mode, fo);
-    KernelPlan pl = build_kernel_plan(r.program);
-    return std::make_pair(std::move(r), std::move(pl));
-  }();
+  const Compiled c = compile(b.program, mode, copts);
+  const FlattenResult& fr = c.flat;
 
   if (o.print_ir) {
     std::cout << pretty(fr.program);
@@ -200,7 +228,11 @@ int run(const Options& o) {
               << fr.thresholds.tree_str();
   }
   if (o.print_plan) {
-    std::cout << plan_stats(plan) << "\n";
+    if (c.plan) {
+      std::cout << plan_stats(*c.plan) << "\n";
+    } else {
+      std::cout << "no kernel plan (pipeline did not run plan-build)\n";
+    }
   }
 
   ThresholdEnv thresholds;
@@ -240,18 +272,11 @@ int run(const Options& o) {
       std::cerr << "unknown dataset " << o.dataset << "\n";
       return 2;
     }
-    RunEstimate est = [&] {
-      trace::Span sim_span("exec.simulate");
-      return o.oracle ? estimate_run(dev, fr.program, ds->sizes, thresholds)
-                      : plan_estimate_run(plan, dev, ds->sizes, thresholds);
-    }();
-    if (trace::enabled()) {
-      trace::count("exec.simulations");
-      trace::count("exec.kernel_launches", est.kernel_launches);
-      trace::count("exec.global_bytes",
-                   static_cast<int64_t>(est.total.gbytes));
-      trace::count("exec.local_bytes", static_cast<int64_t>(est.total.lbytes));
-    }
+    // simulate() prices via the kernel plan when one exists and falls back
+    // to the legacy IR walker otherwise; --oracle forces the walker.
+    Compiled sim = c;
+    if (o.oracle) sim.plan = nullptr;
+    const RunEstimate est = simulate(dev, sim, ds->sizes, thresholds);
     if (o.json) {
       Json j = Json::object();
       j.set("benchmark", b.name)
