@@ -1,0 +1,131 @@
+#include "src/analysis/simplify.h"
+
+#include <set>
+#include <utility>
+
+#include "src/ir/print.h"
+#include "src/ir/traverse.h"
+#include "src/support/trace.h"
+
+namespace incflat {
+namespace analysis {
+
+namespace {
+
+struct GuardFolder {
+  const AnalysisLimits& lim;
+  const SizeBounds& bounds;
+  SimplifyStats& stats;
+
+  /// Fold guards under the established facts about enclosing guard
+  /// outcomes.  Only the spine positions where guards can occur (verified
+  /// by src/ir/verify.cpp: if-conditions) are rewritten; everything that
+  /// cannot contain a guard is returned unchanged, preserving sharing so a
+  /// disabled pass is bit-identical by construction.
+  ExprP fold(const ExprP& e, GuardFacts& facts) {  // NOLINT(misc-no-recursion)
+    if (!e) return e;
+    if (auto* i = e->as<IfE>()) {
+      if (auto* tc = i->cond->as<ThresholdCmpE>()) {
+        const GuardDecision d = decide_guard(*tc, lim, bounds, facts);
+        if (d != GuardDecision::Unknown) {
+          const bool taken = d == GuardDecision::AlwaysTrue;
+          const ExprP& kept = taken ? i->then_e : i->else_e;
+          const ExprP& dropped = taken ? i->else_e : i->then_e;
+          ++stats.guards_folded;
+          stats.versions_pruned += count_segops(dropped);
+          push_fact(facts, *tc, taken);
+          ExprP out = fold(kept, facts);
+          pop_fact(facts, tc->threshold);
+          return out;
+        }
+        push_fact(facts, *tc, true);
+        ExprP then_e = fold(i->then_e, facts);
+        pop_fact(facts, tc->threshold);
+        push_fact(facts, *tc, false);
+        ExprP else_e = fold(i->else_e, facts);
+        pop_fact(facts, tc->threshold);
+        if (pretty(then_e) == pretty(else_e)) {
+          // F3: the guard distinguishes nothing.
+          ++stats.guards_folded;
+          return then_e;
+        }
+        if (then_e == i->then_e && else_e == i->else_e) return e;
+        return mk(IfE{i->cond, std::move(then_e), std::move(else_e)},
+                  e->types);
+      }
+      ExprP then_e = fold(i->then_e, facts);
+      ExprP else_e = fold(i->else_e, facts);
+      if (then_e == i->then_e && else_e == i->else_e) return e;
+      return mk(IfE{i->cond, std::move(then_e), std::move(else_e)}, e->types);
+    }
+    if (auto* l = e->as<LetE>()) {
+      ExprP rhs = fold(l->rhs, facts);
+      ExprP body = fold(l->body, facts);
+      if (rhs == l->rhs && body == l->body) return e;
+      return mk(LetE{l->vars, std::move(rhs), std::move(body)}, e->types);
+    }
+    if (auto* lp = e->as<LoopE>()) {
+      ExprP body = fold(lp->body, facts);
+      if (body == lp->body) return e;
+      return mk(LoopE{lp->params, lp->inits, lp->ivar, lp->count,
+                      std::move(body)},
+                e->types);
+    }
+    if (auto* t = e->as<TupleE>()) {
+      std::vector<ExprP> elems;
+      elems.reserve(t->elems.size());
+      bool changed = false;
+      for (const auto& x : t->elems) {
+        elems.push_back(fold(x, facts));
+        changed = changed || elems.back() != x;
+      }
+      if (!changed) return e;
+      return mk(TupleE{std::move(elems)}, e->types);
+    }
+    if (auto* so = e->as<SegOpE>()) {
+      // Guards can sit inside intra-group bodies (data-dependent nests).
+      ExprP body = fold(so->body, facts);
+      if (body == so->body) return e;
+      SegOpE out = *so;
+      out.body = std::move(body);
+      return mk(std::move(out), e->types);
+    }
+    return e;
+  }
+
+  static void push_fact(GuardFacts& facts, const ThresholdCmpE& tc,
+                        bool taken) {
+    facts[tc.threshold].push_back(GuardFact{tc.par, tc.fit, taken});
+  }
+
+  static void pop_fact(GuardFacts& facts, const std::string& name) {
+    auto it = facts.find(name);
+    it->second.pop_back();
+    if (it->second.empty()) facts.erase(it);
+  }
+};
+
+}  // namespace
+
+SimplifyStats simplify_guards(Program& p, ThresholdRegistry& reg,
+                              const AnalysisLimits& lim) {
+  SimplifyStats stats;
+  GuardFolder folder{lim, p.size_bounds, stats};
+  GuardFacts facts;
+  p.body = folder.fold(p.body, facts);
+
+  std::set<std::string> surviving;
+  for (const auto& name : collect_thresholds(p.body)) surviving.insert(name);
+  stats.thresholds_dropped =
+      static_cast<int64_t>(reg.retain(surviving));
+
+  if (trace::enabled()) {
+    trace::count("analysis.guards_folded", stats.guards_folded);
+    trace::count("analysis.versions_pruned", stats.versions_pruned);
+    trace::count("analysis.thresholds_dropped", stats.thresholds_dropped);
+  }
+  return stats;
+}
+
+}  // namespace analysis
+}  // namespace incflat

@@ -35,6 +35,13 @@ Program heston_program() {
       {"quotes", Type::array(Scalar::F32, {Dim::v("nq")})},
       {"paths", Type::array(Scalar::F32, {Dim::v("np"), Dim::v("ns")})},
   };
+  // Dataset invariants (see SizeBound): realistic calibrations use at
+  // least 256 Monte-Carlo paths of at least 8 steps, so np*ns can never
+  // fit one workgroup — the size analysis uses this to discard the
+  // intra-group version.  Semantics never depend on these (the tiny
+  // test_sizes below deliberately violate them).
+  p.size_bounds["np"] = SizeBound{256, -1};
+  p.size_bounds["ns"] = SizeBound{8, -1};
   // Innermost layer: a reduce over the path's steps.
   Lambda sq = lam({ib::p("z", f32s())}, mul(var("z"), var("z")));
   ExprP path_val = redomap(binlam("+", Scalar::F32), sq, {cf32(0)},

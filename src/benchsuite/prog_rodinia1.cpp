@@ -29,6 +29,10 @@ Program backprop_program() {
       {"wss", Type::array(Scalar::F32, {Dim::v("n_out"), Dim::v("n_in")})},
       {"xs", Type::array(Scalar::F32, {Dim::v("n_in")})},
   };
+  // Dataset invariant: the Rodinia input layer is 2^13..2^20 wide, so a
+  // per-neuron row never fits one workgroup (size analysis folds the
+  // intra-group guard away).  test_sizes stay tiny and out-of-bounds.
+  p.size_bounds["n_in"] = SizeBound{4096, -1};
   // The map-into-reduce chain is written *unfused*; the fusion pass turns
   // it into a redomap for incremental flattening, while the harness keeps
   // it unfused under moderate flattening (fuse_moderate = false below),
@@ -86,6 +90,9 @@ Program lavamd_program() {
       {"pos", Type::array(Scalar::F32, {Dim::v("boxes"), Dim::v("ppb")})},
   };
   p.extra_sizes = {"nbr"};
+  // Dataset invariant: Rodinia fixes 100-ish particles per box (ours use
+  // 50); guard decisions may rely on ppb >= 40.
+  p.size_bounds["ppb"] = SizeBound{40, -1};
   // Interaction with one particle of the neighbour box, gathered by index.
   Lambda inter =
       lam({ib::p("qi", Type::scalar(Scalar::I64))},

@@ -29,7 +29,7 @@ Compiled compile(const Program& src, FlattenMode mode,
 
   PassManager pm;
   if (opts.passes.empty()) {
-    pm = compile_pipeline(mode);
+    pm = compile_pipeline(mode, opts.simplify);
   } else {
     for (const auto& name : opts.passes) {
       pm.add(name == "transform" ? mode_name(mode) : name);
@@ -40,6 +40,7 @@ Compiled compile(const Program& src, FlattenMode mode,
   st.program = src;
   st.mode = mode;
   st.options = opts.flatten;
+  st.limits = opts.limits;
 
   PassManagerOptions po;
   po.verify_each = opts.verify_each;

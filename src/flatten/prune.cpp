@@ -12,6 +12,9 @@ namespace {
 
 /// Drop seg-space bindings whose parameters are used neither by the body
 /// (or combine operator) nor as the source array of a deeper binding.
+/// `so.body` must already be pruned: the used-set is computed from it, so
+/// pruning bottom-up makes a binding kept only for a nested seg-op's dead
+/// binding disappear in the same pass (and the pass idempotent).
 SegOpE prune_segop(const SegOpE& so) {
   std::set<std::string> used = free_vars(so.body);
   if (so.op != SegOpE::Op::Map) {
@@ -47,9 +50,9 @@ std::vector<ExprP> prune_list(const std::vector<ExprP>& es) {
 ExprP prune_seg_spaces(const ExprP& e) {
   if (!e) return e;
   if (auto* so = e->as<SegOpE>()) {
-    SegOpE out = prune_segop(*so);
-    out.body = prune_seg_spaces(so->body);
-    return mk(std::move(out), e->types);
+    SegOpE inner = *so;
+    inner.body = prune_seg_spaces(so->body);
+    return mk(prune_segop(inner), e->types);
   }
   if (auto* l = e->as<LetE>()) {
     return mk(

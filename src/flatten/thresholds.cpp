@@ -23,6 +23,25 @@ void ThresholdRegistry::truncate(size_t mark) {
   }
 }
 
+size_t ThresholdRegistry::retain(const std::set<std::string>& keep) {
+  std::vector<ThresholdInfo> kept;
+  kept.reserve(infos_.size());
+  for (auto& ti : infos_) {
+    if (!keep.count(ti.name)) continue;
+    GuardPath path;
+    for (const auto& step : ti.path) {
+      if (keep.count(step.first)) path.push_back(step);
+    }
+    ti.path = std::move(path);
+    kept.push_back(std::move(ti));
+  }
+  const size_t removed = infos_.size() - kept.size();
+  infos_ = std::move(kept);
+  index_.clear();
+  for (size_t i = 0; i < infos_.size(); ++i) index_[infos_[i].name] = i;
+  return removed;
+}
+
 const ThresholdInfo& ThresholdRegistry::info(const std::string& name) const {
   auto it = index_.find(name);
   INCFLAT_CHECK(it != index_.end(), "unknown threshold " + name);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,13 @@ class ThresholdRegistry {
   /// Roll back to `mark` thresholds (used when a guarded group degenerates
   /// to a single version and its guards are discarded).
   void truncate(size_t mark);
+
+  /// Keep only the thresholds in `keep` (those still mentioned by guards in
+  /// the IR after simplify-guards folded some away), preserving relative
+  /// order.  Guard-path steps referencing dropped thresholds are erased:
+  /// a folded guard takes a constant branch, so it no longer constrains
+  /// reachability.  Returns the number of thresholds removed.
+  size_t retain(const std::set<std::string>& keep);
 
   /// For a concrete dataset and threshold assignment, the *path signature*:
   /// the branch each reachable guard takes.  Two assignments with equal

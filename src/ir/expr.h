@@ -230,6 +230,11 @@ struct Program {
   /// such as LocVolCalib's numT); bound as i64 scalars like shape sizes.
   std::vector<std::string> extra_sizes;
 
+  /// Declared dataset invariants on size variables (see SizeBound).  Used
+  /// by the static size analysis to decide guards; never consulted by the
+  /// interpreter or the cost model, so semantics are bounds-independent.
+  SizeBounds size_bounds;
+
   /// All size-variable names: those mentioned in the input types (in
   /// first-use order) followed by `extra_sizes`.
   std::vector<std::string> size_params() const;

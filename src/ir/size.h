@@ -8,12 +8,33 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/ir/type.h"
 
 namespace incflat {
+
+/// Declared range of a size variable: `lo <= v` and, when `hi >= 0`, also
+/// `v <= hi`.  Size variables are at least 1 even without a declaration
+/// (an empty dimension makes the whole nest empty).  Bounds are *dataset
+/// invariants* stated by the program author — e.g. "Heston always prices
+/// 1024 paths of 32 steps" — and every evaluation/tuning dataset must
+/// satisfy them.  They feed the static size analysis (src/analysis/) only;
+/// program semantics never depend on them, so running a program on
+/// out-of-bounds sizes still computes the right values (all guarded code
+/// versions are semantically equivalent) — only version *selection* quality
+/// is promised for in-bounds datasets.
+struct SizeBound {
+  int64_t lo = 1;
+  int64_t hi = -1;  // < 0: unbounded above
+
+  bool bounded_above() const { return hi >= 0; }
+};
+
+/// Declared bounds per size-variable name; absent names default to [1, inf).
+using SizeBounds = std::map<std::string, SizeBound>;
 
 /// Product of symbolic dimensions; the constant factors are folded eagerly.
 struct SizeProd {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "src/ir/print.h"
 #include "src/ir/traverse.h"
@@ -9,139 +10,132 @@
 
 namespace incflat {
 
-VerifyError::VerifyError(std::string check, std::string context,
-                         const std::string& detail)
-    : CompilerError("verification failed (" + check + ") " + context + ": " +
-                    detail),
-      check_(std::move(check)),
-      context_(std::move(context)) {}
-
 namespace {
+
+std::string render(const std::vector<Diagnostic>& ds) {
+  // First line keeps the historical single-violation format; further
+  // findings are appended one per line so what() carries the full list.
+  std::string s = "verification failed (" + ds.front().check + ") " +
+                  ds.front().context + ": " + ds.front().message;
+  if (ds.size() > 1) {
+    s += "\n  ... " + std::to_string(ds.size() - 1) + " more finding(s):";
+    for (size_t i = 1; i < ds.size(); ++i) s += "\n  " + ds[i].str();
+  }
+  return s;
+}
+
+std::string segop_label(const SegOpE& so) {
+  const char* kind = so.op == SegOpE::Op::Map
+                         ? "segmap"
+                         : so.op == SegOpE::Op::Red ? "segred" : "segscan";
+  return std::string(kind) + "^" + std::to_string(so.level);
+}
 
 struct Verifier {
   const std::string& context;
+  std::vector<Diagnostic>& out;
 
-  [[noreturn]] void fail(const char* check, const std::string& detail,
-                         const ExprP& site) const {
-    std::string d = detail;
-    if (site) d += "\n  in: " + pretty(site).substr(0, 300);
-    throw VerifyError(check, context, d);
+  void note(const char* check, const std::string& at,
+            const std::string& detail, const ExprP& site) const {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.check = check;
+    d.context = context;
+    d.path = at;
+    d.message = detail;
+    if (site) d.message += "\n  in: " + pretty(site).substr(0, 300);
+    out.push_back(std::move(d));
   }
 
   // -- guards ---------------------------------------------------------------
-
-  /// True if `e` contains an intra-group code version: a seg-op at hardware
-  /// level >= 1 whose body still has parallel constructs.  Running one
-  /// requires the inner parallelism to fit a single workgroup, so it must be
-  /// guarded by a threshold comparison carrying that fit bound.
-  static bool has_intra_group(const ExprP& e) {
-    if (!e) return false;
-    if (auto* so = e->as<SegOpE>()) {
-      if (so->level >= 1 && count_segops(so->body) > 0) return true;
-      return has_intra_group(so->body) || any_has_intra(so->neutral);
-    }
-    if (auto* b = e->as<BinOpE>()) {
-      return has_intra_group(b->lhs) || has_intra_group(b->rhs);
-    }
-    if (auto* u = e->as<UnOpE>()) return has_intra_group(u->e);
-    if (auto* i = e->as<IfE>()) {
-      return has_intra_group(i->cond) || has_intra_group(i->then_e) ||
-             has_intra_group(i->else_e);
-    }
-    if (auto* l = e->as<LetE>()) {
-      return has_intra_group(l->rhs) || has_intra_group(l->body);
-    }
-    if (auto* lp = e->as<LoopE>()) {
-      return any_has_intra(lp->inits) || has_intra_group(lp->body);
-    }
-    if (auto* t = e->as<TupleE>()) return any_has_intra(t->elems);
-    if (auto* rp = e->as<ReplicateE>()) return has_intra_group(rp->elem);
-    if (auto* ra = e->as<RearrangeE>()) return has_intra_group(ra->e);
-    if (auto* ix = e->as<IndexE>()) {
-      return has_intra_group(ix->arr) || any_has_intra(ix->idxs);
-    }
-    return false;
-  }
-
-  static bool any_has_intra(const std::vector<ExprP>& es) {
-    return std::any_of(es.begin(), es.end(), has_intra_group);
-  }
 
   /// `fit_guarded` is true while inside the then-arm of a guard whose
   /// comparison carries a workgroup-fit bound; only there may intra-group
   /// versions appear, because every other position is reachable when the
   /// inner parallelism does not fit the device's workgroups.
-  void check_guards(const ExprP& e, bool fit_guarded) const {
+  void check_guards(const ExprP& e, bool fit_guarded,
+                    const std::string& at) const {
     if (!e) return;
     if (auto* i = e->as<IfE>()) {
       if (auto* tc = i->cond->as<ThresholdCmpE>()) {
-        check_guards(i->then_e, fit_guarded || !tc->fit.alts.empty());
-        check_guards(i->else_e, fit_guarded);
+        check_guards(i->then_e, fit_guarded || !tc->fit.alts.empty(),
+                     at + ".then");
+        check_guards(i->else_e, fit_guarded, at + ".else");
         return;
       }
-      check_guards(i->cond, fit_guarded);
-      check_guards(i->then_e, fit_guarded);
-      check_guards(i->else_e, fit_guarded);
+      check_guards(i->cond, fit_guarded, at + ".cond");
+      check_guards(i->then_e, fit_guarded, at + ".then");
+      check_guards(i->else_e, fit_guarded, at + ".else");
       return;
     }
     if (e->is<ThresholdCmpE>()) {
-      fail("guards", "threshold comparison outside an if-condition", e);
+      note("guards", at, "threshold comparison outside an if-condition", e);
+      return;
     }
     if (auto* so = e->as<SegOpE>()) {
+      const std::string here = at + "." + segop_label(*so);
       if (!fit_guarded && so->level >= 1 && count_segops(so->body) > 0) {
-        fail("guards",
+        note("guards", here,
              "intra-group version (level-" + std::to_string(so->level) +
                  " seg-op with parallel body) reachable without a "
                  "workgroup-fit guard: no feasible fallback arm",
              e);
       }
-      check_guards(so->body, fit_guarded);
-      for (const auto& n : so->neutral) check_guards(n, fit_guarded);
-      if (so->op != SegOpE::Op::Map) check_guards(so->combine.body, fit_guarded);
+      check_guards(so->body, fit_guarded, here + ".body");
+      for (const auto& n : so->neutral) {
+        check_guards(n, fit_guarded, here + ".neutral");
+      }
+      if (so->op != SegOpE::Op::Map) {
+        check_guards(so->combine.body, fit_guarded, here + ".combine");
+      }
       return;
     }
     if (auto* b = e->as<BinOpE>()) {
-      check_guards(b->lhs, fit_guarded);
-      check_guards(b->rhs, fit_guarded);
+      check_guards(b->lhs, fit_guarded, at);
+      check_guards(b->rhs, fit_guarded, at);
     } else if (auto* u = e->as<UnOpE>()) {
-      check_guards(u->e, fit_guarded);
+      check_guards(u->e, fit_guarded, at);
     } else if (auto* l = e->as<LetE>()) {
-      check_guards(l->rhs, fit_guarded);
-      check_guards(l->body, fit_guarded);
+      const std::string v = l->vars.empty() ? std::string("_") : l->vars[0];
+      check_guards(l->rhs, fit_guarded, at + "." + v + "=");
+      check_guards(l->body, fit_guarded, at);
     } else if (auto* lp = e->as<LoopE>()) {
-      for (const auto& x : lp->inits) check_guards(x, fit_guarded);
-      check_guards(lp->count, fit_guarded);
-      check_guards(lp->body, fit_guarded);
+      for (const auto& x : lp->inits) check_guards(x, fit_guarded, at);
+      check_guards(lp->count, fit_guarded, at);
+      check_guards(lp->body, fit_guarded, at + ".loop");
     } else if (auto* t = e->as<TupleE>()) {
-      for (const auto& x : t->elems) check_guards(x, fit_guarded);
+      for (size_t i = 0; i < t->elems.size(); ++i) {
+        check_guards(t->elems[i], fit_guarded,
+                     at + "[" + std::to_string(i) + "]");
+      }
     } else if (auto* rp = e->as<ReplicateE>()) {
-      check_guards(rp->elem, fit_guarded);
+      check_guards(rp->elem, fit_guarded, at);
     } else if (auto* ra = e->as<RearrangeE>()) {
-      check_guards(ra->e, fit_guarded);
+      check_guards(ra->e, fit_guarded, at);
     } else if (auto* ix = e->as<IndexE>()) {
-      check_guards(ix->arr, fit_guarded);
-      for (const auto& x : ix->idxs) check_guards(x, fit_guarded);
+      check_guards(ix->arr, fit_guarded, at);
+      for (const auto& x : ix->idxs) check_guards(x, fit_guarded, at);
     } else if (auto* m = e->as<MapE>()) {
-      for (const auto& x : m->arrays) check_guards(x, fit_guarded);
-      check_guards(m->f.body, fit_guarded);
+      for (const auto& x : m->arrays) check_guards(x, fit_guarded, at);
+      check_guards(m->f.body, fit_guarded, at + ".map");
     } else if (auto* r = e->as<ReduceE>()) {
-      for (const auto& x : r->neutral) check_guards(x, fit_guarded);
-      for (const auto& x : r->arrays) check_guards(x, fit_guarded);
-      check_guards(r->op.body, fit_guarded);
+      for (const auto& x : r->neutral) check_guards(x, fit_guarded, at);
+      for (const auto& x : r->arrays) check_guards(x, fit_guarded, at);
+      check_guards(r->op.body, fit_guarded, at + ".reduce");
     } else if (auto* s = e->as<ScanE>()) {
-      for (const auto& x : s->neutral) check_guards(x, fit_guarded);
-      for (const auto& x : s->arrays) check_guards(x, fit_guarded);
-      check_guards(s->op.body, fit_guarded);
+      for (const auto& x : s->neutral) check_guards(x, fit_guarded, at);
+      for (const auto& x : s->arrays) check_guards(x, fit_guarded, at);
+      check_guards(s->op.body, fit_guarded, at + ".scan");
     } else if (auto* rm = e->as<RedomapE>()) {
-      for (const auto& x : rm->neutral) check_guards(x, fit_guarded);
-      for (const auto& x : rm->arrays) check_guards(x, fit_guarded);
-      check_guards(rm->red.body, fit_guarded);
-      check_guards(rm->mapf.body, fit_guarded);
+      for (const auto& x : rm->neutral) check_guards(x, fit_guarded, at);
+      for (const auto& x : rm->arrays) check_guards(x, fit_guarded, at);
+      check_guards(rm->red.body, fit_guarded, at + ".redomap");
+      check_guards(rm->mapf.body, fit_guarded, at + ".redomap");
     } else if (auto* sm = e->as<ScanomapE>()) {
-      for (const auto& x : sm->neutral) check_guards(x, fit_guarded);
-      for (const auto& x : sm->arrays) check_guards(x, fit_guarded);
-      check_guards(sm->red.body, fit_guarded);
-      check_guards(sm->mapf.body, fit_guarded);
+      for (const auto& x : sm->neutral) check_guards(x, fit_guarded, at);
+      for (const auto& x : sm->arrays) check_guards(x, fit_guarded, at);
+      check_guards(sm->red.body, fit_guarded, at + ".scanomap");
+      check_guards(sm->mapf.body, fit_guarded, at + ".scanomap");
     }
     // VarE / ConstE / IotaE: leaves.
   }
@@ -151,23 +145,26 @@ struct Verifier {
   /// Scope-tracking walk: `scope` holds every name bound at this point.
   /// For each seg-op, each level's source arrays must resolve to the scope
   /// extended with the params of strictly outer levels of the same space.
-  void check_segbinds(const ExprP& e, std::set<std::string> scope) const {
+  void check_segbinds(const ExprP& e, std::set<std::string> scope,
+                      const std::string& at) const {
     if (!e) return;
     if (auto* so = e->as<SegOpE>()) {
+      const std::string here = at + "." + segop_label(*so);
       std::set<std::string> inner = scope;
       std::set<std::string> space_params;
       for (size_t lvl = 0; lvl < so->space.size(); ++lvl) {
         const SegBind& b = so->space[lvl];
         if (b.params.size() != b.arrays.size()) {
-          fail("segbinds",
+          note("segbinds", here,
                "seg-space level " + std::to_string(lvl) + " binds " +
                    std::to_string(b.params.size()) + " params to " +
                    std::to_string(b.arrays.size()) + " arrays",
                e);
+          continue;  // arity is broken; pairwise checks would misfire
         }
         for (const auto& a : b.arrays) {
           if (!inner.count(a)) {
-            fail("segbinds",
+            note("segbinds", here,
                  "dangling seg-space binding: array '" + a +
                      "' is not bound by an enclosing binder or an outer "
                      "level of this space",
@@ -176,64 +173,71 @@ struct Verifier {
         }
         for (const auto& p : b.params) {
           if (!space_params.insert(p).second) {
-            fail("segbinds",
+            note("segbinds", here,
                  "seg-space binds parameter '" + p + "' twice", e);
           }
           inner.insert(p);
         }
       }
-      for (const auto& n : so->neutral) check_segbinds(n, scope);
+      for (const auto& n : so->neutral) {
+        check_segbinds(n, scope, here + ".neutral");
+      }
       if (so->op != SegOpE::Op::Map) {
         std::set<std::string> cs = inner;
         for (const auto& p : so->combine.params) cs.insert(p.name);
-        check_segbinds(so->combine.body, cs);
+        check_segbinds(so->combine.body, cs, here + ".combine");
       }
-      check_segbinds(so->body, inner);
+      check_segbinds(so->body, inner, here + ".body");
       return;
     }
     if (auto* b = e->as<BinOpE>()) {
-      check_segbinds(b->lhs, scope);
-      check_segbinds(b->rhs, scope);
+      check_segbinds(b->lhs, scope, at);
+      check_segbinds(b->rhs, scope, at);
     } else if (auto* u = e->as<UnOpE>()) {
-      check_segbinds(u->e, scope);
+      check_segbinds(u->e, scope, at);
     } else if (auto* i = e->as<IfE>()) {
-      check_segbinds(i->cond, scope);
-      check_segbinds(i->then_e, scope);
-      check_segbinds(i->else_e, scope);
+      check_segbinds(i->cond, scope, at + ".cond");
+      check_segbinds(i->then_e, scope, at + ".then");
+      check_segbinds(i->else_e, scope, at + ".else");
     } else if (auto* l = e->as<LetE>()) {
-      check_segbinds(l->rhs, scope);
+      const std::string v = l->vars.empty() ? std::string("_") : l->vars[0];
+      check_segbinds(l->rhs, scope, at + "." + v + "=");
       std::set<std::string> s2 = scope;
       s2.insert(l->vars.begin(), l->vars.end());
-      check_segbinds(l->body, std::move(s2));
+      check_segbinds(l->body, std::move(s2), at);
     } else if (auto* lp = e->as<LoopE>()) {
-      for (const auto& x : lp->inits) check_segbinds(x, scope);
-      check_segbinds(lp->count, scope);
+      for (const auto& x : lp->inits) check_segbinds(x, scope, at);
+      check_segbinds(lp->count, scope, at);
       std::set<std::string> s2 = scope;
       s2.insert(lp->params.begin(), lp->params.end());
       s2.insert(lp->ivar);
-      check_segbinds(lp->body, std::move(s2));
+      check_segbinds(lp->body, std::move(s2), at + ".loop");
     } else if (auto* t = e->as<TupleE>()) {
-      for (const auto& x : t->elems) check_segbinds(x, scope);
+      for (size_t i = 0; i < t->elems.size(); ++i) {
+        check_segbinds(t->elems[i], scope, at + "[" + std::to_string(i) + "]");
+      }
     } else if (auto* rp = e->as<ReplicateE>()) {
-      check_segbinds(rp->elem, scope);
+      check_segbinds(rp->elem, scope, at);
     } else if (auto* ra = e->as<RearrangeE>()) {
-      check_segbinds(ra->e, scope);
+      check_segbinds(ra->e, scope, at);
     } else if (auto* ix = e->as<IndexE>()) {
-      check_segbinds(ix->arr, scope);
-      for (const auto& x : ix->idxs) check_segbinds(x, scope);
+      check_segbinds(ix->arr, scope, at);
+      for (const auto& x : ix->idxs) check_segbinds(x, scope, at);
     } else if (auto* m = e->as<MapE>()) {
-      for (const auto& x : m->arrays) check_segbinds(x, scope);
-      check_segbinds(m->f.body, with_params(scope, m->f.params));
+      for (const auto& x : m->arrays) check_segbinds(x, scope, at);
+      check_segbinds(m->f.body, with_params(scope, m->f.params), at + ".map");
     } else if (auto* r = e->as<ReduceE>()) {
-      soac_lambda(r->neutral, r->arrays, r->op, scope);
+      soac_lambda(r->neutral, r->arrays, r->op, scope, at + ".reduce");
     } else if (auto* s = e->as<ScanE>()) {
-      soac_lambda(s->neutral, s->arrays, s->op, scope);
+      soac_lambda(s->neutral, s->arrays, s->op, scope, at + ".scan");
     } else if (auto* rm = e->as<RedomapE>()) {
-      soac_lambda(rm->neutral, rm->arrays, rm->red, scope);
-      check_segbinds(rm->mapf.body, with_params(scope, rm->mapf.params));
+      soac_lambda(rm->neutral, rm->arrays, rm->red, scope, at + ".redomap");
+      check_segbinds(rm->mapf.body, with_params(scope, rm->mapf.params),
+                     at + ".redomap");
     } else if (auto* sm = e->as<ScanomapE>()) {
-      soac_lambda(sm->neutral, sm->arrays, sm->red, scope);
-      check_segbinds(sm->mapf.body, with_params(scope, sm->mapf.params));
+      soac_lambda(sm->neutral, sm->arrays, sm->red, scope, at + ".scanomap");
+      check_segbinds(sm->mapf.body, with_params(scope, sm->mapf.params),
+                     at + ".scanomap");
     }
     // VarE / ConstE / IotaE / ThresholdCmpE: nothing to resolve here (plain
     // unbound variables are the types check's job).
@@ -248,41 +252,63 @@ struct Verifier {
 
   void soac_lambda(const std::vector<ExprP>& neutral,
                    const std::vector<ExprP>& arrays, const Lambda& op,
-                   const std::set<std::string>& scope) const {
-    for (const auto& x : neutral) check_segbinds(x, scope);
-    for (const auto& x : arrays) check_segbinds(x, scope);
-    check_segbinds(op.body, with_params(scope, op.params));
+                   const std::set<std::string>& scope,
+                   const std::string& at) const {
+    for (const auto& x : neutral) check_segbinds(x, scope, at);
+    for (const auto& x : arrays) check_segbinds(x, scope, at);
+    check_segbinds(op.body, with_params(scope, op.params), at);
   }
 };
 
 }  // namespace
 
-void verify_program(const Program& p, const std::string& context,
-                    const VerifyOptions& opts) {
-  Verifier v{context};
+VerifyError::VerifyError(std::string check, std::string context,
+                         const std::string& detail)
+    : VerifyError(std::vector<Diagnostic>{Diagnostic{
+          Severity::Error, std::move(check), std::move(context), "",
+          detail}}) {}
+
+VerifyError::VerifyError(std::vector<Diagnostic> diags)
+    : CompilerError(render(diags)), diags_(std::move(diags)) {}
+
+std::vector<Diagnostic> verify_diagnostics(const Program& p,
+                                           const std::string& context,
+                                           const VerifyOptions& opts) {
+  std::vector<Diagnostic> ds;
+  Verifier v{context, ds};
   if (opts.types) {
+    // The type checker is fail-fast, so this check contributes at most one
+    // diagnostic; the structural checks below still run on an ill-typed
+    // program (they never consult types).
     try {
       typecheck_program(p);
-    } catch (const VerifyError&) {
-      throw;
     } catch (const CompilerError& e) {
-      throw VerifyError("types", context, e.what());
+      ds.push_back(
+          Diagnostic{Severity::Error, "types", context, "", e.what()});
     }
   }
   if (opts.levels) {
     try {
       check_level_discipline(p.body);
     } catch (const CompilerError& e) {
-      throw VerifyError("levels", context, e.what());
+      ds.push_back(
+          Diagnostic{Severity::Error, "levels", context, "", e.what()});
     }
   }
-  if (opts.guards) v.check_guards(p.body, false);
+  if (opts.guards) v.check_guards(p.body, false, "body");
   if (opts.segbinds) {
     std::set<std::string> scope;
     for (const auto& in : p.inputs) scope.insert(in.name);
     for (const auto& sp : p.size_params()) scope.insert(sp);
-    v.check_segbinds(p.body, std::move(scope));
+    v.check_segbinds(p.body, std::move(scope), "body");
   }
+  return ds;
+}
+
+void verify_program(const Program& p, const std::string& context,
+                    const VerifyOptions& opts) {
+  std::vector<Diagnostic> ds = verify_diagnostics(p, context, opts);
+  if (!ds.empty()) throw VerifyError(std::move(ds));
 }
 
 }  // namespace incflat

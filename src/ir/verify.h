@@ -22,31 +22,39 @@
 //
 // All checks are vacuously true on source programs (which contain no
 // seg-ops and no thresholds), so a verifier can run after *any* pass.
-// Violations throw VerifyError whose message names the failed check and the
-// pipeline context (typically "after pass '<name>'").
+//
+// Unlike a fail-fast assert, verification *collects*: every enabled check
+// runs to completion and each violation becomes one structured Diagnostic
+// (src/support/diag.h) with an IR path locating the node.  If any were
+// found, VerifyError is thrown carrying the complete list, so a failing
+// `--verify-each` run reports everything wrong with the program at once.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/ir/expr.h"
+#include "src/support/diag.h"
 #include "src/support/error.h"
 
 namespace incflat {
 
-/// Verification failure: a structural invariant does not hold.  `check` is
-/// the failed check's name ("types", "levels", "guards", "segbinds");
-/// `context` attributes the failure to a pipeline position.
+/// Verification failure: one or more structural invariants do not hold.
+/// Carries every Diagnostic collected over the whole program; `check()` and
+/// `context()` report the first finding's attribution (the historical
+/// single-violation interface).
 class VerifyError : public CompilerError {
  public:
   VerifyError(std::string check, std::string context,
               const std::string& detail);
+  explicit VerifyError(std::vector<Diagnostic> diags);
 
-  const std::string& check() const { return check_; }
-  const std::string& context() const { return context_; }
+  const std::string& check() const { return diags_.front().check; }
+  const std::string& context() const { return diags_.front().context; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
 
  private:
-  std::string check_;
-  std::string context_;
+  std::vector<Diagnostic> diags_;
 };
 
 struct VerifyOptions {
@@ -56,8 +64,16 @@ struct VerifyOptions {
   bool segbinds = true;
 };
 
-/// Run the selected checks on `p`; throws VerifyError on the first
-/// violation.  `context` names the pipeline position for attribution.
+/// Run the selected checks on `p` and return every violation found (empty
+/// means the program verifies).  `context` names the pipeline position for
+/// attribution.
+std::vector<Diagnostic> verify_diagnostics(const Program& p,
+                                           const std::string& context =
+                                               "verify",
+                                           const VerifyOptions& opts = {});
+
+/// Run the selected checks on `p`; throws VerifyError carrying the full
+/// diagnostic list if any violation was found.
 void verify_program(const Program& p, const std::string& context = "verify",
                     const VerifyOptions& opts = {});
 

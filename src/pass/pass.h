@@ -18,6 +18,9 @@
 //   full              creates (empty for moderate/full)
 //   prune-segbinds  drop dead seg-space bindings, re-typecheck
 //   tiling          mark block-tilable segmaps, check level discipline
+//   simplify-guards fold guards decided by the size analysis (opt-in; see
+//                     src/analysis/simplify.h), drop dead versions and
+//                     their thresholds
 //   plan-build      lower the target program into a KernelPlan
 #pragma once
 
@@ -26,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/range.h"
 #include "src/flatten/flatten.h"
 #include "src/flatten/thresholds.h"
 #include "src/ir/expr.h"
@@ -51,6 +55,9 @@ struct PipelineState {
   ThresholdRegistry thresholds;
   std::shared_ptr<const KernelPlan> plan;
   std::vector<PassRecord> history;  // diagnostics, appended by PassManager
+  /// Device limits consulted by simplify-guards; negative fields (the
+  /// default) make every device-dependent fold rule inapplicable.
+  analysis::AnalysisLimits limits;
 };
 
 /// A named pipeline stage.  `name()` and `span_name()` must return string
@@ -98,7 +105,11 @@ class PassManager {
 /// fusion, normalize, <mode>, prune-segbinds, tiling.
 PassManager flatten_pipeline(FlattenMode mode);
 
-/// flatten_pipeline plus plan-build — what exec::compile runs.
-PassManager compile_pipeline(FlattenMode mode);
+/// flatten_pipeline plus plan-build — what exec::compile runs.  With
+/// `simplify`, simplify-guards and a second prune-segbinds run between
+/// tiling and plan-build (the rerun removes bindings orphaned by deleted
+/// versions); without it the sequence — and hence the output — is exactly
+/// the historical one.
+PassManager compile_pipeline(FlattenMode mode, bool simplify = false);
 
 }  // namespace incflat

@@ -1,0 +1,57 @@
+#include "src/support/diag.h"
+
+#include <sstream>
+
+namespace incflat {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << severity_name(severity) << "[" << check << "]";
+  if (!context.empty() && context != "lint") os << " " << context;
+  if (!path.empty()) os << " at " << path;
+  os << ": " << message;
+  return os.str();
+}
+
+Json Diagnostic::to_json() const {
+  return Json::object()
+      .set("severity", severity_name(severity))
+      .set("check", check)
+      .set("context", context)
+      .set("path", path)
+      .set("message", message);
+}
+
+std::string diagnostics_str(const std::vector<Diagnostic>& ds) {
+  std::string out;
+  for (const auto& d : ds) {
+    out += d.str();
+    out += "\n";
+  }
+  return out;
+}
+
+Json diagnostics_json(const std::vector<Diagnostic>& ds) {
+  Json arr = Json::array();
+  for (const auto& d : ds) arr.push(d.to_json());
+  return arr;
+}
+
+int count_at_least(const std::vector<Diagnostic>& ds, Severity s) {
+  int n = 0;
+  for (const auto& d : ds) {
+    if (static_cast<int>(d.severity) >= static_cast<int>(s)) ++n;
+  }
+  return n;
+}
+
+}  // namespace incflat

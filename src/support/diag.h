@@ -1,0 +1,46 @@
+// Structured compiler diagnostics, shared by the IR verifier
+// (src/ir/verify.h) and the static-analysis linter (src/analysis/lint.h).
+//
+// A Diagnostic is one finding: a severity, a machine-readable check name, a
+// pipeline context ("after pass 'tiling'", "lint"), an IR *path* locating
+// the offending node (e.g. "body.if.else.segmap^1.body"), and a
+// human-readable message.  Both `incflatc --lint` and `--verify-each`
+// report lists of these — as text, one finding per line, or as a JSON
+// array (`--lint-json` / `--json`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace incflat {
+
+enum class Severity { Note, Warning, Error };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string check;    // machine name: "types", "dead-version", ...
+  std::string context;  // pipeline position: "after pass 'tiling'", "lint"
+  std::string path;     // IR path of the offending node ("" = whole program)
+  std::string message;  // human-readable explanation
+
+  /// One-line rendering: `error[dead-version] at body.if.then: message`.
+  std::string str() const;
+
+  Json to_json() const;
+};
+
+/// Text rendering, one diagnostic per line (trailing newline included when
+/// the list is non-empty).
+std::string diagnostics_str(const std::vector<Diagnostic>& ds);
+
+/// JSON array of diagnostic objects.
+Json diagnostics_json(const std::vector<Diagnostic>& ds);
+
+/// Number of diagnostics with the given (or higher) severity.
+int count_at_least(const std::vector<Diagnostic>& ds, Severity s);
+
+}  // namespace incflat

@@ -1,0 +1,767 @@
+// Tests for the static analysis layer (src/analysis/): interval arithmetic
+// and monomial dominance soundness (property-tested against concrete
+// evaluation), the dataflow framework's range inference vs the reference
+// interpreter on random programs, guard decisions, the simplify-guards
+// pass (fold correctness, interpreter equivalence, registry shrinking,
+// estimate identity on the benchsuite), the prune-segbinds bottom-up fix,
+// and the lint catalogue.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/analysis/range.h"
+#include "src/analysis/simplify.h"
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/flatten/prune.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/print.h"
+#include "src/ir/traverse.h"
+#include "src/ir/typecheck.h"
+#include "src/ir/verify.h"
+#include "src/support/diag.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+using namespace ib;
+using analysis::AnalysisLimits;
+using analysis::GuardDecision;
+using analysis::IntInterval;
+
+// ---------------------------------------------------------------- intervals
+
+TEST(Interval, Basics) {
+  EXPECT_TRUE(IntInterval::top().is_top());
+  EXPECT_TRUE(IntInterval::top().contains(-12345));
+  EXPECT_TRUE(IntInterval::point(3).contains(3));
+  EXPECT_FALSE(IntInterval::point(3).contains(4));
+  EXPECT_TRUE(IntInterval::at_least(2).contains(1 << 30));
+  EXPECT_FALSE(IntInterval::at_least(2).contains(1));
+  EXPECT_EQ(interval_add(IntInterval::range(1, 2), IntInterval::range(3, 4)),
+            IntInterval::range(4, 6));
+  EXPECT_EQ(interval_mul(IntInterval::range(2, 3), IntInterval::range(4, 5)),
+            IntInterval::range(8, 15));
+  EXPECT_EQ(interval_max(IntInterval::range(1, 10), IntInterval::range(5, 7)),
+            IntInterval::range(5, 10));
+  EXPECT_EQ(interval_min(IntInterval::range(1, 10), IntInterval::range(5, 7)),
+            IntInterval::range(1, 7));
+  EXPECT_EQ(interval_neg(IntInterval::range(-2, 5)), IntInterval::range(-5, 2));
+}
+
+TEST(Interval, JoinLeqWiden) {
+  const IntInterval a = IntInterval::range(1, 4);
+  const IntInterval b = IntInterval::range(3, 9);
+  const IntInterval j = interval_join(a, b);
+  EXPECT_TRUE(interval_leq(a, j));
+  EXPECT_TRUE(interval_leq(b, j));
+  EXPECT_EQ(j, IntInterval::range(1, 9));
+  // Widening opens the bound that grew.
+  const IntInterval w = interval_widen(a, IntInterval::range(1, 5));
+  EXPECT_TRUE(w.lo_finite);
+  EXPECT_FALSE(w.hi_finite);
+  EXPECT_EQ(interval_widen(a, a), a);
+}
+
+IntInterval random_interval(Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return IntInterval::top();
+    case 1: return IntInterval::at_least(rng.uniform_int(-50, 50));
+    case 2: return IntInterval::at_most(rng.uniform_int(-50, 50));
+    default: {
+      const int64_t lo = rng.uniform_int(-50, 50);
+      return IntInterval::range(lo, lo + rng.uniform_int(0, 40));
+    }
+  }
+}
+
+int64_t sample_from(Rng& rng, const IntInterval& iv) {
+  const int64_t lo = iv.lo_finite ? iv.lo : -60;
+  const int64_t hi = iv.hi_finite ? iv.hi : 60;
+  return rng.uniform_int(std::min(lo, hi), std::max(lo, hi));
+}
+
+TEST(Interval, ArithmeticIsSoundProperty) {
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const IntInterval A = random_interval(rng);
+    const IntInterval B = random_interval(rng);
+    const int64_t a = sample_from(rng, A);
+    const int64_t b = sample_from(rng, B);
+    if (!A.contains(a) || !B.contains(b)) continue;
+    EXPECT_TRUE(interval_add(A, B).contains(a + b)) << A.str() << B.str();
+    EXPECT_TRUE(interval_sub(A, B).contains(a - b)) << A.str() << B.str();
+    EXPECT_TRUE(interval_mul(A, B).contains(a * b)) << A.str() << B.str();
+    EXPECT_TRUE(interval_min(A, B).contains(std::min(a, b)));
+    EXPECT_TRUE(interval_max(A, B).contains(std::max(a, b)));
+    EXPECT_TRUE(interval_neg(A).contains(-a));
+    EXPECT_TRUE(interval_join(A, B).contains(a));
+    EXPECT_TRUE(interval_join(A, B).contains(b));
+  }
+}
+
+// --------------------------------------------------- symbolic size algebra
+
+SizeProd prod_of(int64_t k, const std::vector<std::string>& vars) {
+  SizeProd p;
+  p.konst = k;
+  for (const auto& v : vars) p *= Dim::v(v);
+  return p;
+}
+
+TEST(SizeIntervals, MirrorEvalClamp) {
+  SizeBounds bounds;
+  bounds["n"] = SizeBound{4, 16};
+  // Empty SizeExpr evaluates to 1 (the degenerate size); its interval is
+  // the point 1.
+  EXPECT_EQ(analysis::interval_of(SizeExpr{}, bounds), IntInterval::point(1));
+  const SizeExpr n = SizeExpr::of(Dim::v("n"));
+  EXPECT_EQ(analysis::interval_of(n, bounds), IntInterval::range(4, 16));
+  // Undeclared variables default to [1, inf).
+  const IntInterval m = analysis::interval_of(SizeExpr::of(Dim::v("m")),
+                                              bounds);
+  EXPECT_TRUE(m.lo_finite);
+  EXPECT_EQ(m.lo, 1);
+  EXPECT_FALSE(m.hi_finite);
+  // Products multiply the per-variable ranges.
+  const SizeExpr nn = n.times(prod_of(2, {"n"}));
+  EXPECT_EQ(analysis::interval_of(nn, bounds), IntInterval::range(32, 512));
+}
+
+TEST(SizeAlgebra, ProdLeqSoundnessProperty) {
+  const std::vector<std::string> names = {"a", "b", "c"};
+  Rng rng(11);
+  int decided = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    SizeBounds bounds;
+    for (const auto& v : names) {
+      const int64_t lo = rng.uniform_int(1, 5);
+      bounds[v] = rng.uniform_int(0, 1) ? SizeBound{lo, -1}
+                                        : SizeBound{lo, lo + rng.uniform_int(0, 8)};
+    }
+    auto rand_prod = [&] {
+      std::vector<std::string> vs;
+      for (const auto& v : names) {
+        for (int64_t r = rng.uniform_int(0, 2); r > 0; --r) vs.push_back(v);
+      }
+      return prod_of(rng.uniform_int(1, 8), vs);
+    };
+    const SizeProd p = rand_prod();
+    const SizeProd q = rand_prod();
+    if (!analysis::prod_leq(p, q, bounds)) continue;
+    ++decided;
+    for (int s = 0; s < 10; ++s) {
+      SizeEnv env;
+      for (const auto& v : names) {
+        const SizeBound& sb = bounds[v];
+        const int64_t hi = sb.bounded_above() ? sb.hi : sb.lo + 20;
+        env[v] = rng.uniform_int(sb.lo, hi);
+      }
+      EXPECT_LE(p.eval(env), q.eval(env))
+          << p.str() << " !<= " << q.str();
+    }
+  }
+  // The dominance test must not be vacuous.
+  EXPECT_GT(decided, 100);
+}
+
+TEST(SizeAlgebra, ExprLeqSoundnessProperty) {
+  const std::vector<std::string> names = {"a", "b"};
+  Rng rng(13);
+  int decided = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    SizeBounds bounds;
+    for (const auto& v : names) {
+      bounds[v] = SizeBound{rng.uniform_int(1, 6), -1};
+    }
+    auto rand_expr = [&] {
+      SizeExpr e;
+      for (int64_t alts = rng.uniform_int(1, 3); alts > 0; --alts) {
+        std::vector<std::string> vs;
+        for (const auto& v : names) {
+          for (int64_t r = rng.uniform_int(0, 2); r > 0; --r) vs.push_back(v);
+        }
+        e = e.max_with(SizeExpr::of(prod_of(rng.uniform_int(1, 6), vs)));
+      }
+      return e;
+    };
+    const SizeExpr x = rand_expr();
+    const SizeExpr y = rand_expr();
+    if (!analysis::expr_leq(x, y, bounds)) continue;
+    ++decided;
+    for (int s = 0; s < 10; ++s) {
+      SizeEnv env;
+      for (const auto& v : names) env[v] = rng.uniform_int(bounds[v].lo, 25);
+      EXPECT_LE(x.eval(env), y.eval(env)) << x.str() << " !<= " << y.str();
+    }
+  }
+  EXPECT_GT(decided, 50);
+}
+
+// ------------------------------------------------- dataflow: def-use chains
+
+TEST(DefUse, CountsUsesAndFindsDeadBindings) {
+  Program p;
+  p.name = "defuse";
+  p.inputs = {{"xs", Type::array(Scalar::F32, {Dim::v("n")})}};
+  p.body = let1("live", add(cf32(1), cf32(2)),
+                let1("dead", mul(cf32(3), cf32(4)),
+                     add(var("live"), index(var("xs"), {ci64(0)}))));
+  p = typecheck_program(std::move(p));
+  const analysis::DefUse du = analysis::def_use(p);
+  EXPECT_EQ(du.defs.at("live").uses, 1);
+  EXPECT_EQ(du.defs.at("dead").uses, 0);
+  EXPECT_EQ(du.defs.at("xs").uses, 1);
+  EXPECT_TRUE(du.undefined.empty());
+  const auto dead = analysis::dead_defs(du);
+  EXPECT_NE(std::find(dead.begin(), dead.end(), "dead"), dead.end());
+  // Inputs with zero uses are interface, not dead code.
+  EXPECT_EQ(std::find(dead.begin(), dead.end(), "xs"), dead.end());
+}
+
+// ----------------------------------- range analysis vs interpreter (random)
+
+/// Random closed integer-scalar program generator over size variable `n`.
+/// Exercises constants, arithmetic, if, let, loop, iota/index, map and
+/// reduce — each with I64 element type so the interpreter's results are
+/// directly comparable to the inferred intervals.
+struct ProgGen {
+  Rng& rng;
+  NameGen names;
+  std::vector<std::string> scope;  // bound scalar variables
+
+  ExprP leaf() {
+    const int64_t c = rng.uniform_int(0, 4);
+    if (c == 0) return var("n");
+    if (c == 1 && !scope.empty()) {
+      return var(scope[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(scope.size()) - 1))]);
+    }
+    return ci64(rng.uniform_int(-5, 10));
+  }
+
+  ExprP gen(int depth) {  // NOLINT(misc-no-recursion)
+    if (depth <= 0) return leaf();
+    switch (rng.uniform_int(0, 9)) {
+      case 0: return add(gen(depth - 1), gen(depth - 1));
+      case 1: return sub(gen(depth - 1), gen(depth - 1));
+      case 2: return min_(gen(depth - 1), gen(depth - 1));
+      case 3: return max_(gen(depth - 1), gen(depth - 1));
+      case 4:
+        return iff(le(gen(depth - 1), gen(depth - 1)), gen(depth - 1),
+                   gen(depth - 1));
+      case 5: {
+        const std::string v = names.fresh("x");
+        ExprP rhs = gen(depth - 1);
+        scope.push_back(v);
+        ExprP body = gen(depth - 1);
+        scope.pop_back();
+        return let1(v, std::move(rhs), std::move(body));
+      }
+      case 6: {
+        // loop acc = init for i < n: acc + small
+        const std::string acc = names.fresh("acc");
+        const std::string iv = names.fresh("i");
+        ExprP init = gen(depth - 1);
+        scope.push_back(acc);
+        scope.push_back(iv);
+        ExprP body = add(var(acc), gen(0));
+        scope.pop_back();
+        scope.pop_back();
+        return loop({acc}, {std::move(init)}, iv, var("n"), std::move(body));
+      }
+      case 7:
+        // sum over iota(n)
+        return reduce(binlam("+", Scalar::I64), {ci64(0)},
+                      {iota(Dim::v("n"))});
+      case 8: {
+        // index into a mapped iota (exercises Map's elementwise
+        // abstraction and Index).
+        const std::string x = names.fresh("e");
+        scope.push_back(x);
+        ExprP f = add(var(x), gen(0));
+        scope.pop_back();
+        return index(map1(lam({ib::p(x, Type::scalar(Scalar::I64))},
+                             std::move(f)),
+                          iota(Dim::v("n"))),
+                     {ci64(0)});
+      }
+      default: return leaf();
+    }
+  }
+};
+
+TEST(RangeAnalysis, SoundOnRandomProgramsProperty) {
+  Rng rng(101);
+  for (int iter = 0; iter < 150; ++iter) {
+    ProgGen gen{rng, {}, {}};
+    Program p;
+    p.name = "random";
+    p.extra_sizes = {"n"};
+    p.size_bounds["n"] = SizeBound{2, 40};
+    p.body = let1("result", gen.gen(3), var("result"));
+    p = typecheck_program(std::move(p));
+
+    const analysis::ProgramAnalysis pa = analysis::analyze_program(p);
+    ASSERT_TRUE(pa.bindings.count("result")) << pretty(p);
+    const IntInterval iv = pa.bindings.at("result").range;
+
+    for (int s = 0; s < 5; ++s) {
+      InterpCtx ctx;
+      ctx.sizes["n"] = rng.uniform_int(2, 40);
+      const Values out = run_program(ctx, p, {});
+      ASSERT_EQ(out.size(), 1u);
+      ASSERT_TRUE(out[0].is_scalar());
+      EXPECT_TRUE(iv.contains(out[0].as_int()))
+          << "n=" << ctx.sizes["n"] << " value=" << out[0].as_int()
+          << " interval=" << iv.str() << "\n" << pretty(p);
+    }
+  }
+}
+
+// ----------------------------------------------------------- guard decisions
+
+ThresholdCmpE guard(const std::string& t, SizeExpr par, SizeExpr fit) {
+  return ThresholdCmpE{t, std::move(par), std::move(fit)};
+}
+
+TEST(DecideGuard, FitInfeasibilityF1) {
+  SizeBounds bounds;
+  bounds["np"] = SizeBound{256, -1};
+  bounds["ns"] = SizeBound{8, -1};
+  const SizeExpr fit = SizeExpr::of(prod_of(1, {"np", "ns"}));
+  const ThresholdCmpE tc =
+      guard("t0", SizeExpr::of(Dim::v("np")), fit);
+  AnalysisLimits k40{1024, 48 * 1024};
+  EXPECT_EQ(analysis::decide_guard(tc, k40, bounds, {}),
+            GuardDecision::AlwaysFalse);
+  // Without the bounds the fit's lower bound is 1: undecidable.
+  EXPECT_EQ(analysis::decide_guard(tc, k40, {}, {}),
+            GuardDecision::Unknown);
+  // Without device limits nothing device-dependent is decided.
+  EXPECT_EQ(analysis::decide_guard(tc, {}, bounds, {}),
+            GuardDecision::Unknown);
+}
+
+TEST(DecideGuard, ThresholdAloneIsNeverDecided) {
+  // A fit-less guard compares against a *free tuning parameter*: both
+  // branches stay reachable no matter the bounds.
+  SizeBounds bounds;
+  bounds["n"] = SizeBound{1 << 20, 1 << 20};
+  const ThresholdCmpE tc = guard("t0", SizeExpr::of(Dim::v("n")), SizeExpr{});
+  EXPECT_EQ(analysis::decide_guard(tc, {1024, 48 * 1024}, bounds, {}),
+            GuardDecision::Unknown);
+}
+
+TEST(DecideGuard, SameThresholdDominanceF2) {
+  SizeBounds bounds;  // all vars [1, inf)
+  const SizeExpr n = SizeExpr::of(Dim::v("n"));
+  const SizeExpr nm = SizeExpr::of(prod_of(1, {"n", "m"}));
+  analysis::GuardFacts facts;
+  // Enclosing `nm >= t` (no fit) failed; n <= n*m, so `n >= t` must fail
+  // here too.
+  facts["t"] = {analysis::GuardFact{nm, SizeExpr{}, false}};
+  EXPECT_EQ(analysis::decide_guard(guard("t", n, SizeExpr{}), {}, bounds,
+                                   facts),
+            GuardDecision::AlwaysFalse);
+  // Enclosing `n >= t` (no fit) succeeded; n*m >= n, so `n*m >= t` holds.
+  facts["t"] = {analysis::GuardFact{n, SizeExpr{}, true}};
+  EXPECT_EQ(analysis::decide_guard(guard("t", nm, SizeExpr{}), {}, bounds,
+                                   facts),
+            GuardDecision::AlwaysTrue);
+  // Different threshold name: no relation.
+  EXPECT_EQ(analysis::decide_guard(guard("u", nm, SizeExpr{}), {}, bounds,
+                                   facts),
+            GuardDecision::Unknown);
+}
+
+TEST(DecideGuard, DecisionsMatchConcreteEvaluationProperty) {
+  const std::vector<std::string> names = {"a", "b"};
+  Rng rng(17);
+  int decided = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    SizeBounds bounds;
+    for (const auto& v : names) {
+      const int64_t lo = rng.uniform_int(1, 64);
+      bounds[v] = rng.uniform_int(0, 1)
+                      ? SizeBound{lo, -1}
+                      : SizeBound{lo, lo * rng.uniform_int(1, 4)};
+    }
+    auto rand_expr = [&](bool maybe_empty) {
+      if (maybe_empty && rng.uniform_int(0, 3) == 0) return SizeExpr{};
+      std::vector<std::string> vs;
+      for (const auto& v : names) {
+        for (int64_t r = rng.uniform_int(0, 2); r > 0; --r) vs.push_back(v);
+      }
+      return SizeExpr::of(prod_of(rng.uniform_int(1, 4), vs));
+    };
+    const ThresholdCmpE tc =
+        guard("t", rand_expr(false), rand_expr(true));
+    const AnalysisLimits lim{rng.uniform_int(16, 2048), 48 * 1024};
+    const GuardDecision d = analysis::decide_guard(tc, lim, bounds, {});
+    if (d == GuardDecision::Unknown) continue;
+    ++decided;
+    for (int s = 0; s < 8; ++s) {
+      SizeEnv env;
+      for (const auto& v : names) {
+        const SizeBound& sb = bounds[v];
+        env[v] = rng.uniform_int(sb.lo,
+                                 sb.bounded_above() ? sb.hi : sb.lo + 100);
+      }
+      const int64_t t = rng.uniform_int(1, 1 << 20);
+      const bool taken =
+          tc.par.eval(env) >= t &&
+          (tc.fit.alts.empty() || tc.fit.eval(env) <= lim.max_group_size);
+      EXPECT_EQ(taken, d == GuardDecision::AlwaysTrue)
+          << "par=" << tc.par.str() << " fit=" << tc.fit.str();
+    }
+  }
+  EXPECT_GT(decided, 20);
+}
+
+// -------------------------------------------------------- par / local mem
+
+ExprP seg1_body(ExprP body) {
+  SegOpE so;
+  so.op = SegOpE::Op::Map;
+  so.level = 1;
+  so.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")}};
+  so.body = std::move(body);
+  return mk(std::move(so));
+}
+
+ExprP segred0() {
+  SegOpE so;
+  so.op = SegOpE::Op::Red;
+  so.level = 0;
+  so.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  so.combine = binlam("+", Scalar::F32);
+  so.neutral = {cf32(0)};
+  so.body = var("x");
+  return mk(std::move(so));
+}
+
+TEST(SymbolicFacts, ParAndLocalMemOfIntraGroupNest) {
+  Program p;
+  p.inputs = {{"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})}};
+  p.body = seg1_body(segred0());
+  p = typecheck_program(std::move(p));
+  SizeEnv env{{"n", 10}, {"m", 7}};
+  // Par = n * m (outer space times the inner seg-op's degree).
+  EXPECT_EQ(analysis::par_of(p.body).eval(env), 70);
+  // Local footprint mirrors the cost model: 2 * m points * 4 bytes (f32).
+  EXPECT_EQ(analysis::local_mem_of(p.body).eval(env), 2 * 7 * 4);
+  // A level-1 nest with a sequential body has no local footprint.
+  Program q;
+  q.inputs = p.inputs;
+  q.body = seg1_body(redomap(binlam("+", Scalar::F32),
+                             lam({ib::p("x", Type::scalar(Scalar::F32))},
+                                 var("x")),
+                             {cf32(0)}, {var("xs")}));
+  q = typecheck_program(std::move(q));
+  EXPECT_TRUE(analysis::local_mem_of(q.body).alts.empty());
+}
+
+// ------------------------------------------------------ prune-segbinds fix
+
+TEST(Prune, NestedOrphanRemovedInOnePass) {
+  // Outer binding `xs` is referenced only as the source array of the inner
+  // seg-op's binding `x`, and `x` itself is dead.  Bottom-up pruning must
+  // remove both in a single run.
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 0;
+  inner.space = {SegBind{{"x"}, {"xs"}, Dim::v("m")}};
+  inner.body = cf32(1);  // x unused
+  SegOpE outer;
+  outer.op = SegOpE::Op::Map;
+  outer.level = 1;
+  outer.space = {SegBind{{"xs"}, {"xss"}, Dim::v("n")}};
+  outer.body = mk(std::move(inner));
+  const ExprP pruned = prune_seg_spaces(mk(std::move(outer)));
+  const auto* out = pruned->as<SegOpE>();
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->space.size(), 1u);
+  EXPECT_TRUE(out->space[0].params.empty()) << pretty(pruned);
+  const auto* in = out->body->as<SegOpE>();
+  ASSERT_NE(in, nullptr);
+  EXPECT_TRUE(in->space[0].params.empty()) << pretty(pruned);
+}
+
+TEST(Prune, Idempotent) {
+  Rng rng(23);
+  // Idempotence on a shape that mixes live and dead bindings at two levels.
+  SegOpE inner;
+  inner.op = SegOpE::Op::Map;
+  inner.level = 0;
+  inner.space = {SegBind{{"x", "y"}, {"xs", "ys"}, Dim::v("m")}};
+  inner.body = add(var("x"), cf32(1));  // y dead
+  SegOpE outer;
+  outer.op = SegOpE::Op::Map;
+  outer.level = 1;
+  outer.space = {SegBind{{"xs", "ys"}, {"xss", "yss"}, Dim::v("n")}};
+  outer.body = mk(std::move(inner));
+  const ExprP once = prune_seg_spaces(mk(std::move(outer)));
+  const ExprP twice = prune_seg_spaces(once);
+  EXPECT_EQ(pretty(once), pretty(twice));
+  // ys/y are gone, xs/x stay.
+  const auto* out = once->as<SegOpE>();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->space[0].params, std::vector<std::string>{"xs"});
+}
+
+// --------------------------------------------------------- threshold retain
+
+TEST(Registry, RetainDropsThresholdsAndPathSteps) {
+  ThresholdRegistry reg;
+  const std::string t0 =
+      reg.fresh("suff_outer_par", SizeExpr::of(Dim::v("n")), SizeExpr{}, {});
+  const std::string t1 = reg.fresh("suff_intra_par", SizeExpr::of(Dim::v("n")),
+                                   SizeExpr::of(Dim::v("m")), {{t0, false}});
+  const std::string t2 =
+      reg.fresh("suff_outer_par", SizeExpr::of(Dim::v("m")), SizeExpr{},
+                {{t0, false}, {t1, false}});
+  EXPECT_EQ(reg.retain({t0, t2}), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.all()[0].name, t0);
+  EXPECT_EQ(reg.all()[1].name, t2);
+  // t2's path step through the folded t1 is stripped; the t0 step remains.
+  ASSERT_EQ(reg.info(t2).path.size(), 1u);
+  EXPECT_EQ(reg.info(t2).path[0].first, t0);
+}
+
+// -------------------------------------------------------- simplify-guards
+
+/// A two-version target program whose intra-group arm requires fit = m:
+/// `if (m >= t && fit m) then intra else flat` where both arms compute the
+/// per-row sums of xss.
+Program guarded_program(ThresholdRegistry& reg) {
+  Program p;
+  p.name = "guarded";
+  p.inputs = {{"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})}};
+  const std::string t =
+      reg.fresh("suff_intra_par", SizeExpr::of(Dim::v("m")),
+                SizeExpr::of(Dim::v("m")), {});
+  ExprP cmp = mk(ThresholdCmpE{t, SizeExpr::of(Dim::v("m")),
+                               SizeExpr::of(Dim::v("m"))});
+  ExprP intra = seg1_body(segred0());
+  ExprP flat = seg1_body(redomap(binlam("+", Scalar::F32),
+                                 lam({ib::p("x", Type::scalar(Scalar::F32))},
+                                     var("x")),
+                                 {cf32(0)}, {var("xs")}));
+  p.body = iff(std::move(cmp), std::move(intra), std::move(flat));
+  return typecheck_program(std::move(p));
+}
+
+TEST(SimplifyGuards, FoldsInfeasibleIntraVersionAndPreservesValues) {
+  ThresholdRegistry reg;
+  Program plain = guarded_program(reg);
+  // Declared: m >= 4.  On a device with max_group_size = 2 the fit bound
+  // can never hold, so the guard is always-false -> keep the flat arm.
+  Program simplified = plain;
+  simplified.size_bounds["m"] = SizeBound{4, -1};
+  ThresholdRegistry sreg = reg;
+  const analysis::SimplifyStats stats =
+      analysis::simplify_guards(simplified, sreg, AnalysisLimits{2, 1024});
+  EXPECT_EQ(stats.guards_folded, 1);
+  EXPECT_EQ(stats.versions_pruned, 2);  // the segmap^1 and its segred^0
+  EXPECT_EQ(stats.thresholds_dropped, 1);
+  EXPECT_TRUE(sreg.empty());
+  EXPECT_EQ(collect_thresholds(simplified.body).size(), 0u);
+
+  // Semantics are bounds-independent: even on sizes *violating* the
+  // declared bounds the two programs compute identical values (all guarded
+  // versions are equivalent), for any threshold assignment.
+  Rng rng(31);
+  for (const int64_t m : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+    InterpCtx ctx;
+    ctx.sizes = {{"n", 3}, {"m", m}};
+    ctx.max_group_size = 2;
+    Value xss = Value::zeros(Scalar::F32, {3, m});
+    for (int64_t i = 0; i < xss.count(); ++i) {
+      xss.fset(i, static_cast<double>(rng.uniform_int(-4, 9)));
+    }
+    for (const int64_t t : {int64_t{1}, int64_t{4}, int64_t{1} << 20}) {
+      ctx.thresholds.values = {{reg.all()[0].name, t}};
+      const Values a = run_program(ctx, plain, {xss});
+      const Values b = run_program(ctx, simplified, {xss});
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(a[0].approx_equal(b[0], 1e-6)) << "m=" << m << " t=" << t;
+    }
+  }
+}
+
+TEST(SimplifyGuards, NoBoundsNoLimitsMeansNoFolds) {
+  ThresholdRegistry reg;
+  Program p = guarded_program(reg);
+  const std::string before = pretty(p.body);
+  ThresholdRegistry reg2 = reg;
+  const analysis::SimplifyStats stats =
+      analysis::simplify_guards(p, reg2, AnalysisLimits{});
+  EXPECT_EQ(stats.guards_folded, 0);
+  EXPECT_EQ(stats.versions_pruned, 0);
+  EXPECT_EQ(stats.thresholds_dropped, 0);
+  EXPECT_EQ(pretty(p.body), before);
+}
+
+TEST(SimplifyGuards, BenchsuiteEstimatesAndKernelChoicesUnchanged) {
+  // The acceptance criterion: with --simplify the plan has strictly fewer
+  // versions and thresholds, yet prices identically (same kernels, same
+  // estimates) for every in-bounds dataset and *any* threshold assignment.
+  const DeviceProfile dev = device_k40();
+  for (const std::string name : {"Heston", "Backprop", "LavaMD"}) {
+    const Benchmark b = get_benchmark(name);
+    const Compiled plain = compile(b.program, FlattenMode::Incremental);
+    CompileOptions sopts;
+    sopts.simplify = true;
+    sopts.limits = analysis::limits_for(dev);
+    const Compiled simp = compile(b.program, FlattenMode::Incremental, sopts);
+
+    EXPECT_LT(simp.flat.thresholds.size(), plain.flat.thresholds.size())
+        << name;
+    EXPECT_LT(count_segops(simp.flat.program.body),
+              count_segops(plain.flat.program.body))
+        << name;
+
+    std::vector<ThresholdEnv> sweeps;
+    sweeps.emplace_back();  // defaults
+    for (const int64_t v : {int64_t{1}, int64_t{512}, int64_t{1} << 24}) {
+      ThresholdEnv te;
+      for (const auto& ti : plain.flat.thresholds.all()) {
+        te.values[ti.name] = v;
+      }
+      sweeps.push_back(std::move(te));
+    }
+    for (const auto& ds : b.datasets) {
+      for (const auto& te : sweeps) {
+        const RunEstimate a = simulate(dev, plain, ds.sizes, te);
+        const RunEstimate s = simulate(dev, simp, ds.sizes, te);
+        EXPECT_DOUBLE_EQ(a.time_us, s.time_us) << name << "/" << ds.name;
+        ASSERT_EQ(a.kernels.size(), s.kernels.size())
+            << name << "/" << ds.name;
+        for (size_t i = 0; i < a.kernels.size(); ++i) {
+          EXPECT_EQ(a.kernels[i].what, s.kernels[i].what)
+              << name << "/" << ds.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimplifyGuards, TargetValuesUnchangedOnBenchsuite) {
+  // Interpreter-level equivalence at the (deliberately out-of-bounds)
+  // test sizes: folding never changes computed values.
+  const DeviceProfile dev = device_k40();
+  for (const std::string name : {"Heston", "Backprop", "LavaMD"}) {
+    const Benchmark b = get_benchmark(name);
+    const Compiled plain = compile(b.program, FlattenMode::Incremental);
+    CompileOptions sopts;
+    sopts.simplify = true;
+    sopts.limits = analysis::limits_for(dev);
+    const Compiled simp = compile(b.program, FlattenMode::Incremental, sopts);
+    Rng rng(41);
+    const std::vector<Value> inputs = b.gen_inputs(rng, b.test_sizes);
+    const Values a = execute(dev, plain, b.test_sizes, {}, inputs);
+    const Values s = execute(dev, simp, b.test_sizes, {}, inputs);
+    ASSERT_EQ(a.size(), s.size()) << name;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].approx_equal(s[i], 1e-4)) << name;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- lint
+
+TEST(Lint, FindsDeadVersionUnusedThresholdAndDeadBinding) {
+  ThresholdRegistry reg;
+  Program p = guarded_program(reg);
+  p.size_bounds["m"] = SizeBound{4, -1};
+  // A threshold no guard mentions.
+  reg.fresh("suff_outer_par", SizeExpr::of(Dim::v("n")), SizeExpr{}, {});
+  // A dead let binding.
+  p.body = let1("unused", cf32(0), p.body);
+  p = typecheck_program(std::move(p));
+
+  analysis::LintOptions lopts;
+  lopts.limits = AnalysisLimits{2, 1024};
+  lopts.device_name = "tiny";
+  const std::vector<Diagnostic> ds = analysis::lint_program(p, reg, lopts);
+  auto has = [&](const std::string& check) {
+    for (const auto& d : ds) {
+      if (d.check == check) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("dead-version"));
+  EXPECT_TRUE(has("unused-threshold"));
+  EXPECT_TRUE(has("dead-binding"));
+  EXPECT_EQ(count_at_least(ds, Severity::Error), 0);
+  EXPECT_GE(count_at_least(ds, Severity::Warning), 2);
+
+  // After simplify + prune the dead-version finding disappears.
+  analysis::simplify_guards(p, reg, lopts.limits);
+  p.body = prune_seg_spaces(p.body);
+  const std::vector<Diagnostic> after =
+      analysis::lint_program(p, reg, lopts);
+  for (const auto& d : after) EXPECT_NE(d.check, "dead-version") << d.str();
+}
+
+TEST(Lint, FlagsStaticallyOverflowingLocalMemory) {
+  Program p;
+  p.inputs = {{"xss", Type::array(Scalar::F32, {Dim::v("n"), Dim::v("m")})}};
+  p.body = seg1_body(segred0());
+  p.size_bounds["m"] = SizeBound{1 << 16, -1};  // >= 512 KiB of scratchpad
+  p = typecheck_program(std::move(p));
+  analysis::LintOptions lopts;
+  lopts.limits = AnalysisLimits{1 << 20, 48 * 1024};
+  const std::vector<Diagnostic> ds =
+      analysis::lint_program(p, ThresholdRegistry{}, lopts);
+  ASSERT_EQ(count_at_least(ds, Severity::Error), 1);
+  EXPECT_EQ(ds[0].check, "local-mem-overflow");
+  EXPECT_NE(ds[0].path.find("segmap^1"), std::string::npos) << ds[0].path;
+}
+
+TEST(Lint, BenchsuiteProgramsHaveNoErrorFindings) {
+  // The catalogue's only error severity is local-mem-overflow; no shipped
+  // benchmark statically overflows either device profile.
+  for (const auto& dev : {device_k40(), device_vega64()}) {
+    analysis::LintOptions lopts;
+    lopts.limits = analysis::limits_for(dev);
+    lopts.device_name = dev.name;
+    for (const auto& name : all_benchmark_names()) {
+      const Benchmark b = get_benchmark(name);
+      const Compiled c = compile(b.program, FlattenMode::Incremental);
+      const std::vector<Diagnostic> ds =
+          analysis::lint_program(c.flat.program, c.flat.thresholds, lopts);
+      EXPECT_EQ(count_at_least(ds, Severity::Error), 0)
+          << name << " on " << dev.name << "\n" << diagnostics_str(ds);
+    }
+  }
+}
+
+// ------------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, TextAndJsonRendering) {
+  const Diagnostic d{Severity::Warning, "dead-version", "lint",
+                     "body.then", "one arm is dead"};
+  EXPECT_EQ(d.str(),
+            "warning[dead-version] at body.then: one arm is dead");
+  const Json j = d.to_json();
+  EXPECT_EQ(j.get("severity").as_string(), "warning");
+  EXPECT_EQ(j.get("check").as_string(), "dead-version");
+  EXPECT_EQ(j.get("path").as_string(), "body.then");
+  const std::vector<Diagnostic> ds = {
+      d, Diagnostic{Severity::Error, "types", "after pass 'normalize'", "",
+                    "boom"}};
+  EXPECT_EQ(count_at_least(ds, Severity::Error), 1);
+  EXPECT_EQ(count_at_least(ds, Severity::Warning), 2);
+  EXPECT_EQ(diagnostics_json(ds).size(), 2u);
+}
+
+}  // namespace
+}  // namespace incflat

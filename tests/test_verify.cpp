@@ -232,6 +232,51 @@ TEST(Verify, InnerBindingMayChainThroughOuterLevel) {
   EXPECT_NO_THROW(verify_program(p));
 }
 
+TEST(Verify, AllViolationsAreCollectedNotJustTheFirst) {
+  // Two independent dangling seg bindings in separate seg-ops: the verifier
+  // must report both findings in one throw, with distinct IR paths.
+  SegOpE a;
+  a.op = SegOpE::Op::Map;
+  a.level = 1;
+  a.space = {SegBind{{"x"}, {"nowhere1"}, Dim::v("n")}};
+  a.body = add(var("x"), cf32(1));
+  SegOpE b;
+  b.op = SegOpE::Op::Map;
+  b.level = 1;
+  b.space = {SegBind{{"y"}, {"nowhere2"}, Dim::v("n")}};
+  b.body = add(var("y"), cf32(2));
+  Program p = target_program(tuple({mk(std::move(a)), mk(std::move(b))}));
+  const std::vector<Diagnostic> ds =
+      verify_diagnostics(p, "after pass 'prune-segbinds'",
+                         only(false, false, false, true));
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_NE(ds[0].path, ds[1].path);
+  for (const auto& d : ds) {
+    EXPECT_EQ(d.check, "segbinds");
+    EXPECT_EQ(d.severity, Severity::Error);
+    EXPECT_EQ(d.context, "after pass 'prune-segbinds'");
+    EXPECT_NE(d.message.find("dangling"), std::string::npos);
+  }
+  try {
+    verify_program(p, "after pass 'prune-segbinds'",
+                   only(false, false, false, true));
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.diagnostics().size(), 2u);
+    // what() advertises the extra findings beyond the first.
+    EXPECT_NE(std::string(e.what()).find("more finding"), std::string::npos);
+  }
+}
+
+TEST(Verify, CleanProgramYieldsNoDiagnostics) {
+  Program p = target_program(
+      seg1(redomap(binlam("+", Scalar::F32),
+                   lam({ib::p("x", Type::scalar(Scalar::F32))}, var("x")),
+                   {cf32(0)}, {var("xs")})));
+  p = typecheck_program(std::move(p));
+  EXPECT_TRUE(verify_diagnostics(p, "verify").empty());
+}
+
 TEST(Verify, SourceProgramsAreVacuouslyClean) {
   // Source programs contain no seg-ops and no thresholds, so every check
   // (beyond types) is vacuous — a verifier can run after any pass.

@@ -17,13 +17,16 @@
 #include <string>
 #include <utility>
 
+#include "src/analysis/lint.h"
 #include "src/autotune/autotune.h"
 #include "src/autotune/tuning_file.h"
 #include "src/benchsuite/benchmark.h"
 #include "src/exec/exec.h"
 #include "src/ir/print.h"
 #include "src/ir/traverse.h"
+#include "src/ir/verify.h"
 #include "src/plan/plan.h"
+#include "src/support/diag.h"
 #include "src/support/json.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -43,6 +46,9 @@ struct Options {
   bool print_ir = false;
   bool print_tree = false;
   bool print_plan = false;
+  bool lint = false;
+  bool lint_json = false;
+  bool simplify = false;
   bool tune = false;
   bool exhaustive = false;
   bool oracle = false;
@@ -71,6 +77,15 @@ int usage() {
       "  --print-ir                  print the flattened program\n"
       "  --tree                      print the threshold branching tree\n"
       "  --plan                      print kernel-plan statistics\n"
+      "  --lint                      run the static-analysis lints on the\n"
+      "                              compiled program (dead versions, local\n"
+      "                              memory overflow, unused bindings); exit\n"
+      "                              non-zero on error-severity findings\n"
+      "  --lint-json                 like --lint, structured JSON output\n"
+      "  --simplify                  run the simplify-guards pass: fold\n"
+      "                              guards the size analysis proves\n"
+      "                              constant for the device, delete dead\n"
+      "                              versions and their thresholds\n"
       "  --no-fuse                   skip pre-flattening fusion (the paper's\n"
       "                              Sec. 5.3 Backprop ablation)\n"
       "  --passes LIST               run this comma-separated pass pipeline\n"
@@ -121,6 +136,13 @@ std::optional<Options> parse(int argc, char** argv) {
       o.print_tree = true;
     } else if (a == "--plan") {
       o.print_plan = true;
+    } else if (a == "--lint") {
+      o.lint = true;
+    } else if (a == "--lint-json") {
+      o.lint = true;
+      o.lint_json = true;
+    } else if (a == "--simplify") {
+      o.simplify = true;
     } else if (a == "--no-fuse") {
       o.no_fuse = true;
     } else if (a == "--verify-each") {
@@ -202,6 +224,8 @@ int run(const Options& o) {
   copts.flatten.fuse =
       !o.no_fuse && (mode != FlattenMode::Moderate || b.fuse_moderate);
   copts.verify_each = o.verify_each;
+  copts.simplify = o.simplify;
+  copts.limits = analysis::limits_for(dev);
   for (size_t pos = 0; pos < o.passes.size();) {
     size_t comma = o.passes.find(',', pos);
     if (comma == std::string::npos) comma = o.passes.size();
@@ -233,6 +257,32 @@ int run(const Options& o) {
     } else {
       std::cout << "no kernel plan (pipeline did not run plan-build)\n";
     }
+  }
+
+  if (o.lint) {
+    analysis::LintOptions lopts;
+    lopts.limits = analysis::limits_for(dev);
+    lopts.device_name = dev.name;
+    const std::vector<Diagnostic> findings =
+        analysis::lint_program(fr.program, fr.thresholds, lopts);
+    if (o.lint_json || o.json) {
+      Json j = Json::object();
+      j.set("benchmark", b.name)
+          .set("mode", mode_name(mode))
+          .set("device", dev.name)
+          .set("errors", count_at_least(findings, Severity::Error))
+          .set("warnings", count_at_least(findings, Severity::Warning))
+          .set("diagnostics", diagnostics_json(findings));
+      std::cout << j.str() << "\n";
+    } else if (findings.empty()) {
+      std::cout << b.name << ": lint clean on " << dev.name << "\n";
+    } else {
+      std::cout << diagnostics_str(findings);
+      std::cout << b.name << ": " << findings.size() << " finding(s), "
+                << count_at_least(findings, Severity::Error)
+                << " error(s) on " << dev.name << "\n";
+    }
+    if (count_at_least(findings, Severity::Error) > 0) return 1;
   }
 
   ThresholdEnv thresholds;
@@ -329,6 +379,17 @@ int main(int argc, char** argv) {
   if (!opts) return incflat::usage();
   try {
     return incflat::run(*opts);
+  } catch (const incflat::VerifyError& e) {
+    // Verification failures carry every finding, not just the first; print
+    // the full structured list so one run surfaces all violations.
+    if (opts->json) {
+      std::cerr << incflat::diagnostics_json(e.diagnostics()).str() << "\n";
+    } else {
+      std::cerr << "error: verification failed ("
+                << e.diagnostics().size() << " finding(s)):\n"
+                << incflat::diagnostics_str(e.diagnostics());
+    }
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
