@@ -16,7 +16,9 @@
 #include "src/autotune/autotune.h"
 #include "src/benchsuite/benchmark.h"
 #include "src/exec/exec.h"
+#include "src/exec/runtime.h"
 #include "src/flatten/flatten.h"
+#include "src/gpusim/faults.h"
 #include "src/plan/plan.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -85,10 +87,71 @@ struct TunedBench {
   std::map<std::string, TuningReport> reports;
 };
 
+/// Fault-injection hook for the figure binaries: INCFLAT_FAULTS=SPEC (the
+/// same spec grammar as incflatc --faults) makes every sim() run through
+/// the fault-tolerant executor, with INCFLAT_FAULT_SEED and
+/// INCFLAT_RUN_POLICY pinning the seed and retry/degradation budgets.  Off
+/// (the default) leaves the figures bit-identical to a fault-free build.
+class FaultSession {
+ public:
+  FaultSession() {
+    const char* f = std::getenv("INCFLAT_FAULTS");
+    if (!f || !*f) return;
+    try {
+      spec_ = parse_fault_spec(f);
+      uint64_t seed = 0xb0a7f001ULL;
+      if (const char* s = std::getenv("INCFLAT_FAULT_SEED")) {
+        seed = std::stoull(s, nullptr, 0);
+      }
+      if (const char* p = std::getenv("INCFLAT_RUN_POLICY")) {
+        policy_ = parse_run_policy(p);
+      }
+      plan_ = FaultPlan(spec_, seed);
+      enabled_ = spec_.faults_launches();
+    } catch (const std::exception& e) {
+      std::cerr << "INCFLAT_FAULTS: " << e.what() << "\n";
+      std::exit(3);
+    }
+  }
+  FaultSession(const FaultSession&) = delete;
+  FaultSession& operator=(const FaultSession&) = delete;
+
+  bool enabled() const { return enabled_; }
+  const FaultSpec& spec() const { return spec_; }
+  FaultPlan& plan() { return plan_; }
+  const RunPolicy& policy() const { return policy_; }
+
+ private:
+  FaultSpec spec_;
+  FaultPlan plan_;
+  RunPolicy policy_;
+  bool enabled_ = false;
+};
+
+inline FaultSession& fault_session() {
+  static FaultSession s;
+  return s;
+}
+
 /// Price one run via a kernel plan (one-off query; the tuner reuses
-/// per-dataset caches internally instead).
+/// per-dataset caches internally instead).  Under INCFLAT_FAULTS the run
+/// goes through the fault-tolerant executor: the returned time includes
+/// retry/degradation overhead, and an unrecoverable run is reported to
+/// stderr rather than thrown.
 inline RunEstimate sim(const KernelPlan& plan, const DeviceProfile& dev,
                        const SizeEnv& sizes, const ThresholdEnv& thr = {}) {
+  FaultSession& fs = fault_session();
+  if (fs.enabled()) {
+    const RunOutcome out =
+        run_with_faults(dev, plan, sizes, thr, fs.plan(), fs.policy());
+    if (!out.ok) {
+      std::cerr << "fault injection: unrecoverable run: " << outcome_str(out)
+                << "\n";
+    }
+    RunEstimate est = out.estimate;
+    est.time_us = out.time_us;
+    return est;
+  }
   return plan_estimate_run(plan, dev, sizes, thr);
 }
 

@@ -1,13 +1,19 @@
 #include "src/autotune/autotune.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "src/autotune/journal.h"
 #include "src/plan/plan.h"
 #include "src/support/error.h"
 #include "src/support/pool.h"
@@ -24,6 +30,130 @@ ThresholdEnv to_env(const std::map<std::string, int64_t>& assignment,
   env.values = assignment;
   env.default_threshold = default_value;
   return env;
+}
+
+// ---------------------------------------------------------------------------
+// Fallible, noisy measurements with a crash-safe journal.
+//
+// When any robustness option is enabled, every memoizer cache miss routes
+// through a MeasureSession: the true (simulated) cost is re-measured
+// median-of-k under multiplicative noise, individual measurements can fail
+// (discarded; all-k-failed marks the candidate infeasible), candidates
+// beyond the per-candidate timeout are marked infeasible instead of
+// aborting, and each final measured value is appended to the journal as a
+// single flushed write.  A resumed search answers evaluations from the
+// journal in order — advancing the measurement RNG by exactly the draws a
+// live measurement consumes, so the continuation is bit-identical to an
+// uninterrupted run.
+// ---------------------------------------------------------------------------
+
+struct Measurer {
+  double noise = 0;
+  double failure_rate = 0;
+  bool active = false;
+  int k = 1;
+  Rng rng;
+
+  explicit Measurer(const TunerOptions& opts)
+      : noise(opts.noise),
+        failure_rate(opts.failure_rate),
+        active(opts.noise > 0 || opts.failure_rate > 0),
+        k(active ? std::max(1, opts.measure_k) : 1),
+        rng(opts.measure_seed) {}
+
+  /// Median-of-k measurement of a candidate with true cost `t`.  Consumes
+  /// exactly 2k draws (k failure tests + k noise factors) so replayed and
+  /// live evaluations advance the stream identically.  All k failed ->
+  /// +inf (infeasible).
+  double measure(double t) {
+    if (!active) return t;
+    std::vector<double> ms;
+    ms.reserve(static_cast<size_t>(k));
+    for (int j = 0; j < k; ++j) {
+      const double fail = rng.uniform();
+      const double n = rng.uniform();
+      if (fail < failure_rate) continue;
+      ms.push_back(t * (1.0 + noise * (2.0 * n - 1.0)));
+    }
+    if (ms.empty()) return std::numeric_limits<double>::infinity();
+    std::sort(ms.begin(), ms.end());
+    const size_t m = ms.size();
+    return m % 2 == 1 ? ms[m / 2] : 0.5 * (ms[m / 2 - 1] + ms[m / 2]);
+  }
+
+  /// Advance the stream as one measurement would, without measuring (used
+  /// for journal-replayed and unpriceable evaluations).
+  void skip_draws() {
+    if (!active) return;
+    for (int j = 0; j < 2 * k; ++j) rng.next();
+  }
+};
+
+struct MeasureSession {
+  Measurer meas;
+  TuneJournal* journal = nullptr;
+  std::vector<JournalEntry> replay;
+  size_t replay_ix = 0;
+  double timeout_us = 0;
+  TuningReport* rep = nullptr;
+
+  MeasureSession(const TunerOptions& opts, TuningReport* report)
+      : meas(opts), timeout_us(opts.candidate_timeout_us), rep(report) {}
+
+  /// Timed-out and failed-every-retry candidates get an infinite cost:
+  /// counted infeasible, never adopted, never fatal.  The *journaled* value
+  /// is post-finalize, so replayed evaluations count identically.
+  double finalize(double c) {
+    if (timeout_us > 0 && c > timeout_us) {
+      c = std::numeric_limits<double>::infinity();
+    }
+    if (!(c < std::numeric_limits<double>::infinity())) ++rep->infeasible;
+    return c;
+  }
+
+  /// Measure one evaluation: replay from the journal when entries remain,
+  /// else measure live (a candidate whose pricing throws EvalError — e.g.
+  /// unbound sizes — is infeasible, not fatal) and journal the result.
+  double evaluate(uint64_t key_hash, const std::function<double()>& true_cost) {
+    if (replay_ix < replay.size()) {
+      const JournalEntry& e = replay[replay_ix];
+      if (e.key_hash != key_hash) {
+        throw IoError(
+            "tuning journal is out of sync with the search (entry " +
+            std::to_string(replay_ix) + " hash mismatch) — refusing resume");
+      }
+      ++replay_ix;
+      meas.skip_draws();
+      ++rep->journal_replayed;
+      const double c = e.cost();
+      if (!(c < std::numeric_limits<double>::infinity())) ++rep->infeasible;
+      return c;
+    }
+    double c;
+    try {
+      c = meas.measure(true_cost());
+    } catch (const EvalError&) {
+      meas.skip_draws();
+      c = std::numeric_limits<double>::infinity();
+    }
+    c = finalize(c);
+    if (journal) journal->append(JournalEntry::of(key_hash, c));
+    return c;
+  }
+};
+
+uint64_t double_bits(double d) {
+  uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+/// Whether any robustness machinery is needed; when false, candidate costs
+/// bypass the MeasureSession entirely and the search is bit-identical to
+/// previous releases.
+bool session_needed(const TunerOptions& opts) {
+  return opts.noise > 0 || opts.failure_rate > 0 ||
+         opts.candidate_timeout_us > 0 || !opts.journal.empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +186,7 @@ struct WalkMemoizer {
   const ThresholdRegistry& reg;
   const std::vector<TuningDataset>& datasets;
   int64_t default_value;
+  MeasureSession* session = nullptr;
   std::map<std::string, double> cache;
   int evaluations = 0;
   int dedup_hits = 0;
@@ -69,8 +200,13 @@ struct WalkMemoizer {
       return it->second;
     }
     ++evaluations;
+    const auto true_cost = [&] {
+      return tuning_cost(dev, p, datasets, to_env(assignment, default_value));
+    };
     const double c =
-        tuning_cost(dev, p, datasets, to_env(assignment, default_value));
+        session ? session->evaluate(journal_hash(key.data(), key.size()),
+                                    true_cost)
+                : true_cost();
     cache.emplace(key, c);
     return c;
   }
@@ -135,6 +271,7 @@ struct PlanEval {
 
 struct PlanMemoizer {
   const PlanEval& ev;
+  MeasureSession* session = nullptr;
   std::map<std::vector<uint64_t>, double> cache;
   int evaluations = 0;
   int dedup_hits = 0;
@@ -148,7 +285,13 @@ struct PlanMemoizer {
       return it->second;
     }
     ++evaluations;
-    const double c = ev.cost(env);
+    const auto true_cost = [&] { return ev.cost(env); };
+    const double c =
+        session
+            ? session->evaluate(
+                  journal_hash(k.data(), k.size() * sizeof(uint64_t)),
+                  true_cost)
+            : true_cost();
     cache.emplace(std::move(k), c);
     return c;
   }
@@ -161,6 +304,16 @@ struct PlanMemoizer {
 template <class Memo>
 void stochastic_search(Memo& memo, const std::vector<std::string>& names,
                        const TunerOptions& opts, TuningReport& rep) {
+  // The wall-clock budget is checked between trials: the search never
+  // aborts mid-measurement, it stops gracefully and keeps the incumbent.
+  const auto start = std::chrono::steady_clock::now();
+  const auto over_budget = [&] {
+    if (opts.budget_ms <= 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    return static_cast<double>(elapsed.count()) / 1000.0 > opts.budget_ms;
+  };
+
   std::map<std::string, int64_t> incumbent;  // empty = all defaults
   double best = memo.cost(incumbent);
   rep.default_cost_us = best;
@@ -192,6 +345,10 @@ void stochastic_search(Memo& memo, const std::vector<std::string>& names,
     };
 
     for (int t = 1; t < opts.max_trials; ++t) {
+      if (over_budget()) {
+        rep.early_stopped = true;
+        break;
+      }
       // Ensemble: half random exploration, half hill climbing on the
       // incumbent (OpenTuner's technique mixture, simplified).
       std::map<std::string, int64_t> cand =
@@ -265,19 +422,43 @@ TuningReport autotune(const DeviceProfile& dev, const Program& p,
   std::vector<std::string> names;
   for (const auto& ti : reg.all()) names.push_back(ti.name);
 
+  // Robust-measurement session (noise, failures, timeout, journal).  Held
+  // outside both back ends so a resumed journal replays identically
+  // whichever evaluation path the program selects.
+  std::unique_ptr<MeasureSession> session;
+  std::unique_ptr<TuneJournal> journal;
+  if (session_needed(opts)) {
+    session = std::make_unique<MeasureSession>(opts, &rep);
+    if (!opts.journal.empty()) {
+      JournalMeta meta;
+      meta.program = p.name;
+      meta.device = dev.name;
+      meta.search_seed = opts.seed;
+      meta.max_trials = opts.max_trials;
+      meta.measure_seed = opts.measure_seed;
+      meta.measure_k = opts.measure_k;
+      meta.noise_bits = double_bits(opts.noise);
+      journal = std::make_unique<TuneJournal>(
+          TuneJournal::open(opts.journal, meta, opts.resume,
+                            &session->replay));
+      session->journal = journal.get();
+    }
+  }
+
   if (opts.use_plan) {
     WorkerPool pool(opts.workers);
     PlanEval ev =
         PlanEval::build(dev, p, datasets, opts.default_threshold, pool);
     if (ev.ok()) {
-      PlanMemoizer memo{ev, {}, 0, 0};
+      PlanMemoizer memo{ev, session.get(), {}, 0, 0};
       stochastic_search(memo, names, opts, rep);
       rep.used_plan = true;
       trace_report(rep);
       return rep;
     }
   }
-  WalkMemoizer memo{dev, p, reg, datasets, opts.default_threshold, {}, 0, 0};
+  WalkMemoizer memo{dev,  p,           reg, datasets, opts.default_threshold,
+                    session.get(), {}, 0,   0};
   stochastic_search(memo, names, opts, rep);
   trace_report(rep);
   return rep;
@@ -377,7 +558,8 @@ TuningReport exhaustive_tune(const DeviceProfile& dev, const Program& p,
     }
   }
 
-  WalkMemoizer memo{dev, p, reg, datasets, default_threshold, {}, 0, 0};
+  WalkMemoizer memo{dev, p,  reg, datasets, default_threshold,
+                    nullptr, {}, 0,   0};
   rep.default_cost_us = memo.cost({});
   std::map<std::string, int64_t> best_assign;
   double best = memo.cost({});

@@ -53,6 +53,40 @@ struct TunerOptions {
   /// Worker threads for per-dataset cache warming and exhaustive candidate
   /// batches; <= 0 picks a small default from hardware_concurrency.
   int workers = 0;
+
+  // --- robustness (fault-injected measurements; all off by default, in
+  // --- which case the search is bit-identical to previous releases) ---
+
+  /// Relative amplitude of multiplicative measurement noise: each single
+  /// measurement is the true cost scaled by a uniform factor in
+  /// [1-noise, 1+noise] (FaultPlan::noise_factor's distribution).
+  double noise = 0;
+  /// Probability an individual measurement fails outright (a crashed or
+  /// lost run).  Failed measurements are discarded; a candidate whose every
+  /// re-measurement failed is marked infeasible, never adopted.
+  double failure_rate = 0;
+  /// Seed of the measurement stream (noise + failure draws).
+  uint64_t measure_seed = 0x5eedf417;
+  /// Median-of-k re-measurement when noise or failures are enabled: each
+  /// evaluation draws k measurements and keeps the median of the ones that
+  /// survived.  Ignored (single exact measurement) when both are zero.
+  int measure_k = 5;
+  /// A candidate whose measured cost exceeds this is marked infeasible
+  /// rather than aborting the search; 0 disables.  (Simulated microseconds
+  /// — the per-candidate timeout of a real measurement harness.)
+  double candidate_timeout_us = 0;
+  /// Wall-clock budget in milliseconds; when exceeded the search stops
+  /// gracefully and returns the incumbent (early_stopped in the report).
+  /// 0 = unlimited.  The only nondeterministic knob — leave at 0 for
+  /// reproducible searches.
+  double budget_ms = 0;
+  /// Crash-safe journal file: every evaluation is appended atomically so an
+  /// interrupted search resumes (`resume`) to a bit-identical report.
+  /// Empty = no journal.
+  std::string journal;
+  /// Resume from `journal` (which must exist and match this search's
+  /// configuration) instead of starting fresh.
+  bool resume = false;
 };
 
 struct TuningReport {
@@ -63,6 +97,9 @@ struct TuningReport {
   int evaluations = 0;        // cost-model evaluations actually performed
   int dedup_hits = 0;         // assignments resolved from the branching tree
   bool used_plan = false;     // evaluated via KernelPlan (not the IR walker)
+  int infeasible = 0;         // evaluations timed out / failed every retry
+  int journal_replayed = 0;   // evaluations answered from a resumed journal
+  bool early_stopped = false; // wall-clock budget exhausted; best = incumbent
 };
 
 /// Tune `p`'s thresholds for `dev` over the training datasets.

@@ -1,0 +1,187 @@
+#include "src/autotune/journal.h"
+
+#include <sstream>
+
+#include "src/support/error.h"
+
+namespace incflat {
+
+namespace {
+
+constexpr const char* kMagic = "# incflat tuning journal v1";
+
+std::string hex(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+bool parse_hex(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int d = 0;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+std::string meta_line(const JournalMeta& m) {
+  std::ostringstream os;
+  os << "meta program=" << m.program << " device=" << m.device
+     << " seed=" << hex(m.search_seed) << " trials=" << m.max_trials
+     << " mseed=" << hex(m.measure_seed) << " k=" << m.measure_k
+     << " noise=" << hex(m.noise_bits);
+  return os.str();
+}
+
+/// Parse "meta key=value ..." back into a JournalMeta; false on any
+/// malformed field (a corrupt header refuses the resume).
+bool parse_meta(const std::string& line, JournalMeta* m) {
+  std::istringstream is(line);
+  std::string tok;
+  if (!(is >> tok) || tok != "meta") return false;
+  while (is >> tok) {
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    uint64_t u = 0;
+    if (key == "program") {
+      m->program = val;
+    } else if (key == "device") {
+      m->device = val;
+    } else if (key == "seed" && parse_hex(val, &u)) {
+      m->search_seed = u;
+    } else if (key == "trials") {
+      try {
+        m->max_trials = std::stoi(val);
+      } catch (const std::exception&) {
+        return false;
+      }
+    } else if (key == "mseed" && parse_hex(val, &u)) {
+      m->measure_seed = u;
+    } else if (key == "k") {
+      try {
+        m->measure_k = std::stoi(val);
+      } catch (const std::exception&) {
+        return false;
+      }
+    } else if (key == "noise" && parse_hex(val, &u)) {
+      m->noise_bits = u;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool JournalMeta::operator==(const JournalMeta& o) const {
+  return program == o.program && device == o.device &&
+         search_seed == o.search_seed && max_trials == o.max_trials &&
+         measure_seed == o.measure_seed && measure_k == o.measure_k &&
+         noise_bits == o.noise_bits;
+}
+
+uint64_t journal_hash(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TuneJournal TuneJournal::open(const std::string& path,
+                              const JournalMeta& meta, bool resume,
+                              std::vector<JournalEntry>* replay) {
+  if (replay) replay->clear();
+  if (resume) {
+    std::ifstream in(path);
+    if (!in) {
+      throw IoError("cannot read tuning journal: " + path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    // A crash can leave a partial final line (no terminating newline):
+    // drop the fragment, it will simply be re-measured and re-appended.
+    const size_t last_nl = text.find_last_of('\n');
+    text = last_nl == std::string::npos ? "" : text.substr(0, last_nl + 1);
+    std::istringstream is(text);
+    std::string line;
+    bool saw_magic = false, saw_meta = false;
+    while (std::getline(is, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!saw_magic) {
+        if (line != kMagic) {
+          throw IoError("not a tuning journal: " + path);
+        }
+        saw_magic = true;
+        continue;
+      }
+      if (!saw_meta) {
+        JournalMeta got;
+        if (!parse_meta(line, &got)) {
+          throw IoError("tuning journal has a corrupt header: " + path);
+        }
+        if (!(got == meta)) {
+          throw IoError(
+              "tuning journal was recorded for a different search "
+              "(program/device/seed/options mismatch): " + path);
+        }
+        saw_meta = true;
+        continue;
+      }
+      std::istringstream ls(line);
+      std::string tag, key_s, cost_s;
+      JournalEntry e;
+      if (!(ls >> tag >> key_s >> cost_s) || tag != "E" ||
+          !parse_hex(key_s, &e.key_hash) || !parse_hex(cost_s, &e.cost_bits)) {
+        // A torn write that still got its newline out: stop replaying here;
+        // everything from this point is re-measured.
+        break;
+      }
+      if (replay) replay->push_back(e);
+    }
+    if (!saw_magic || !saw_meta) {
+      throw IoError("tuning journal is missing its header: " + path);
+    }
+  }
+
+  TuneJournal j;
+  j.path_ = path;
+  j.out_.open(path, resume ? (std::ios::out | std::ios::app)
+                           : (std::ios::out | std::ios::trunc));
+  if (!j.out_) {
+    throw IoError("cannot write tuning journal: " + path);
+  }
+  if (!resume) {
+    j.out_ << kMagic << "\n" << meta_line(meta) << "\n";
+    j.out_.flush();
+    if (!j.out_) throw IoError("tuning journal write failed: " + path);
+  }
+  return j;
+}
+
+void TuneJournal::append(const JournalEntry& e) {
+  std::ostringstream os;
+  os << "E " << hex(e.key_hash) << " " << hex(e.cost_bits) << "\n";
+  out_ << os.str();
+  out_.flush();
+  if (!out_) throw IoError("tuning journal write failed: " + path_);
+}
+
+}  // namespace incflat

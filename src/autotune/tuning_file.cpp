@@ -1,5 +1,6 @@
 #include "src/autotune/tuning_file.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -75,14 +76,31 @@ ThresholdEnv tuning_from_string(const std::string& text) {
 }
 
 void save_tuning(const std::string& path, const ThresholdEnv& env) {
-  std::ofstream f(path);
-  if (!f) throw EvalError("cannot write tuning file: " + path);
-  f << tuning_to_string(env);
+  // Atomic replace: write a sibling temp file, flush it, and rename it over
+  // the destination.  A crash mid-save leaves either the old complete file
+  // or a stray .tmp — never a truncated tuning file that would load as a
+  // silently wrong assignment.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::out | std::ios::trunc);
+    if (!f) throw IoError("cannot write tuning file: " + tmp);
+    f << tuning_to_string(env);
+    f.flush();
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      throw IoError("tuning file write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot replace tuning file: " + path);
+  }
 }
 
 ThresholdEnv load_tuning(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw EvalError("cannot read tuning file: " + path);
+  if (!f) throw IoError("cannot read tuning file: " + path);
   std::ostringstream buf;
   buf << f.rdbuf();
   return tuning_from_string(buf.str());

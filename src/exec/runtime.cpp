@@ -1,0 +1,294 @@
+#include "src/exec/runtime.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "src/support/error.h"
+#include "src/support/str.h"
+#include "src/support/trace.h"
+
+namespace incflat {
+
+namespace {
+
+double parse_num(const std::string& key, const std::string& text) {
+  try {
+    size_t consumed = 0;
+    const double v = std::stod(text, &consumed);
+    if (consumed != text.size()) throw IoError("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw IoError("run-policy: bad value for '" + key + "': '" + text + "'");
+  }
+}
+
+/// Simulated time one failed attempt burns before the fault is observed.
+double attempt_cost(const DeviceProfile& dev, const RunPolicy& policy,
+                    const LaunchInfo& li, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::LaunchFailed:
+      return dev.launch_overhead_us;  // the launch never started
+    case FaultKind::LaunchTimeout:
+      // Hung until the watchdog fired (or until it would have finished).
+      return policy.kernel_timeout_us > 0 ? policy.kernel_timeout_us
+                                          : li.time_us;
+    case FaultKind::LocalAllocFailed:
+      return dev.launch_overhead_us;  // rejected at allocation time
+    case FaultKind::DeviceLost:
+      return 10 * dev.launch_overhead_us;  // device reset round-trip
+    case FaultKind::None:
+      break;
+  }
+  return 0;
+}
+
+double backoff_for(const RunPolicy& policy, int retry_number) {
+  double b = policy.backoff_us;
+  for (int i = 1; i < retry_number; ++i) b = std::min(b * 2, policy.backoff_cap_us);
+  return std::min(b, policy.backoff_cap_us);
+}
+
+/// The launch schedule the run executes under `env`: from the plan tree
+/// when one is available, else one entry per priced kernel of the legacy
+/// walker's estimate, each carrying the estimate's full guard list as its
+/// path (the innermost taken guard is still a correct degradation target —
+/// the legacy report cannot attribute guards to kernels more precisely).
+std::vector<LaunchInfo> make_schedule(const DeviceProfile& dev,
+                                      const KernelPlan* plan,
+                                      const PlanDatasetCache* cache,
+                                      const Program& target,
+                                      const SizeEnv& sizes,
+                                      const ThresholdEnv& env) {
+  if (plan && cache && !plan->legacy_fallback) {
+    return plan_launch_schedule(*plan, *cache, env);
+  }
+  const RunEstimate est = estimate_run(dev, target, sizes, env);
+  std::vector<LaunchInfo> sched;
+  sched.reserve(est.kernels.size());
+  for (const KernelCost& k : est.kernels) {
+    LaunchInfo li;
+    li.what = k.what;
+    li.time_us = k.time_us;
+    li.guard_path = est.guards;
+    sched.push_back(std::move(li));
+  }
+  return sched;
+}
+
+RunOutcome run_impl(const DeviceProfile& dev, const KernelPlan* plan,
+                    const Program& target, const SizeEnv& sizes,
+                    const ThresholdEnv& thresholds, FaultPlan& faults,
+                    const RunPolicy& policy) {
+  trace::Span span("exec.run");
+  RunOutcome out;
+  out.thresholds = thresholds;
+
+  std::unique_ptr<PlanDatasetCache> cache;
+  if (plan && !plan->legacy_fallback) {
+    cache = std::make_unique<PlanDatasetCache>(*plan, dev, sizes);
+  }
+
+  const auto final_estimate = [&]() {
+    return plan && cache && !plan->legacy_fallback
+               ? plan_estimate(*plan, *cache, out.thresholds)
+               : estimate_run(dev, target, sizes, out.thresholds);
+  };
+
+  double wasted = 0;  // failed attempts, backoffs, abandoned partial runs
+
+  const auto emit_counters = [&out] {
+    if (!trace::enabled()) return;
+    trace::count("exec.fault_runs");
+    trace::count("exec.faults", out.faults);
+    trace::count("exec.retries", out.retries);
+    trace::count("exec.degradations", out.degradations);
+  };
+
+  const auto abort_run = [&](const LaunchInfo& li, FaultKind kind,
+                             const std::string& why) {
+    out.events.push_back(FaultEvent{faults.launches() - 1, li.what, kind, 0,
+                                    "abort", ""});
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.check = "fault-unrecoverable";
+    d.context = "run";
+    d.message = "kernel '" + li.what + "' failed persistently (" +
+                fault_kind_name(kind) + ") and " + why;
+    out.error = d;
+    out.ok = false;
+    out.estimate = final_estimate();
+    out.time_us = wasted;
+    out.overhead_us = wasted;
+    emit_counters();
+  };
+
+  bool restart = true;
+  while (restart) {
+    restart = false;
+    const std::vector<LaunchInfo> sched = make_schedule(
+        dev, plan, cache.get(), target, sizes, out.thresholds);
+    double completed = 0;  // progress of this pass, wasted if it restarts
+
+    for (const LaunchInfo& li : sched) {
+      // A kernel whose fault-free time already exceeds the per-kernel
+      // timeout can never finish: persistent by policy, no launch consult.
+      bool persistent = false;
+      FaultKind kind = FaultKind::None;
+      int attempt = 0;
+      if (policy.kernel_timeout_us > 0 &&
+          li.time_us > policy.kernel_timeout_us) {
+        persistent = true;
+        kind = FaultKind::LaunchTimeout;
+        ++out.faults;
+        wasted += policy.kernel_timeout_us;
+      }
+      while (!persistent) {
+        ++attempt;
+        kind = faults.next_launch();
+        if (kind == FaultKind::None) break;  // the launch succeeded
+        ++out.faults;
+        wasted += attempt_cost(dev, policy, li, kind);
+        if (kind == FaultKind::LocalAllocFailed ||
+            attempt >= policy.max_attempts) {
+          persistent = true;
+          break;
+        }
+        ++out.retries;
+        wasted += backoff_for(policy, attempt);
+        out.events.push_back(FaultEvent{faults.launches() - 1, li.what, kind,
+                                        attempt, "retry", ""});
+      }
+      if (!persistent) {
+        completed += li.time_us;
+        continue;
+      }
+
+      // Persistent fault: fall back to the next surviving guarded sibling
+      // by forcing the innermost taken guard on this kernel's path off.
+      wasted += completed;  // partial progress is thrown away
+      const auto taken = std::find_if(
+          li.guard_path.rbegin(), li.guard_path.rend(),
+          [](const std::pair<std::string, bool>& g) { return g.second; });
+      if (taken == li.guard_path.rend()) {
+        abort_run(li, kind, "no surviving sibling version remains");
+        return out;
+      }
+      if (out.degradations >= policy.max_degradations) {
+        abort_run(li, kind, "the degradation budget is exhausted");
+        return out;
+      }
+      out.thresholds.values[taken->first] = int64_t{1} << 62;
+      ++out.degradations;
+      out.degraded.push_back(taken->first);
+      out.events.push_back(FaultEvent{faults.launches() - 1, li.what, kind,
+                                      attempt, "degrade", taken->first});
+      restart = true;
+      break;
+    }
+  }
+
+  out.ok = true;
+  out.estimate = final_estimate();
+  out.overhead_us = wasted;
+  out.time_us = out.estimate.time_us + wasted;
+  emit_counters();
+  return out;
+}
+
+}  // namespace
+
+RunPolicy parse_run_policy(const std::string& spec) {
+  RunPolicy p;
+  if (spec.empty() || spec == "default") return p;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw IoError("run-policy: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const double v = parse_num(key, item.substr(eq + 1));
+    if (key == "retries") {
+      if (v < 0 || v != static_cast<int>(v)) {
+        throw IoError("run-policy: retries must be a non-negative integer");
+      }
+      p.max_attempts = 1 + static_cast<int>(v);
+    } else if (key == "backoff") {
+      if (v < 0) throw IoError("run-policy: backoff must be >= 0");
+      p.backoff_us = v;
+    } else if (key == "backoff-cap") {
+      if (v < 0) throw IoError("run-policy: backoff-cap must be >= 0");
+      p.backoff_cap_us = v;
+    } else if (key == "timeout") {
+      if (v < 0) throw IoError("run-policy: timeout must be >= 0");
+      p.kernel_timeout_us = v;
+    } else if (key == "degradations") {
+      if (v < 0 || v != static_cast<int>(v)) {
+        throw IoError(
+            "run-policy: degradations must be a non-negative integer");
+      }
+      p.max_degradations = static_cast<int>(v);
+    } else {
+      throw IoError("run-policy: unknown key '" + key + "'");
+    }
+  }
+  return p;
+}
+
+std::string run_policy_str(const RunPolicy& policy) {
+  std::ostringstream os;
+  os << "retries=" << (policy.max_attempts - 1)
+     << ",backoff=" << fmt_double(policy.backoff_us, 1)
+     << ",backoff-cap=" << fmt_double(policy.backoff_cap_us, 1)
+     << ",timeout=" << fmt_double(policy.kernel_timeout_us, 1)
+     << ",degradations=" << policy.max_degradations;
+  return os.str();
+}
+
+RunOutcome run_with_faults(const DeviceProfile& dev, const Compiled& c,
+                           const SizeEnv& sizes,
+                           const ThresholdEnv& thresholds, FaultPlan& faults,
+                           const RunPolicy& policy) {
+  return run_impl(dev, c.plan.get(), c.flat.program, sizes, thresholds,
+                  faults, policy);
+}
+
+RunOutcome run_with_faults(const DeviceProfile& dev, const KernelPlan& plan,
+                           const SizeEnv& sizes,
+                           const ThresholdEnv& thresholds, FaultPlan& faults,
+                           const RunPolicy& policy) {
+  return run_impl(dev, &plan, plan.program, sizes, thresholds, faults,
+                  policy);
+}
+
+std::string outcome_str(const RunOutcome& o) {
+  std::ostringstream os;
+  if (o.ok) {
+    os << "ok in " << fmt_us(o.time_us);
+    if (o.overhead_us > 0) {
+      os << " (" << fmt_us(o.overhead_us) << " fault overhead)";
+    }
+  } else {
+    os << "FAILED after " << fmt_us(o.time_us) << ": "
+       << (o.error ? o.error->message : "unknown error");
+  }
+  os << "; " << o.faults << " fault(s), " << o.retries << " retr"
+     << (o.retries == 1 ? "y" : "ies") << ", " << o.degradations
+     << " degradation(s)";
+  if (!o.degraded.empty()) {
+    os << " [";
+    for (size_t i = 0; i < o.degraded.size(); ++i) {
+      os << (i ? ", " : "") << o.degraded[i];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace incflat

@@ -1,0 +1,115 @@
+// Fault-tolerant simulated runtime: retries, backoff, and graceful
+// version-degradation over the guard tree.
+//
+// The paper's multi-versioned code — sibling code versions guarded by
+// threshold predicates — doubles as a graceful-degradation mechanism: when
+// the selected version cannot run (scratchpad allocation failure, repeated
+// launch faults, a kernel overrunning its timeout), a *sibling* version of
+// the same map nest still can.  run_with_faults executes a compiled
+// program's launch schedule against a FaultPlan under a RunPolicy:
+//
+//   * transient faults (launch-failed, launch-timeout, device-lost) are
+//     retried with capped exponential backoff;
+//   * persistent faults (local-alloc-failed, retries exhausted, a kernel
+//     that can never meet the per-kernel timeout) *degrade*: the innermost
+//     taken guard on the failing kernel's tree path is forced off, falling
+//     back intra-group -> outer-only sequentialised -> fully flattened, and
+//     the run restarts under the degraded assignment;
+//   * when no sibling survives (the fully flattened version itself faults
+//     persistently) or the degradation budget is exhausted, the run returns
+//     a structured Diagnostic instead of throwing raw.
+//
+// Every fault, retry and degradation is recorded in the RunOutcome report
+// and in the exec.faults / exec.retries / exec.degradations trace counters.
+// Degradation changes only *which* guarded version runs, never the values
+// it computes (the paper's semantics-preservation property), so a degraded
+// run is value-identical to the fault-free one — execute the outcome's
+// effective thresholds to check against the interpreter oracle.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exec/exec.h"
+#include "src/gpusim/faults.h"
+#include "src/support/diag.h"
+
+namespace incflat {
+
+/// Retry / timeout / degradation budgets for one run.
+struct RunPolicy {
+  /// Total attempts per launch (first try + retries).
+  int max_attempts = 4;
+  /// Backoff before retry k (1-based): backoff_us * 2^(k-1), capped.
+  double backoff_us = 50.0;
+  double backoff_cap_us = 5000.0;
+  /// Per-kernel timeout in simulated microseconds; 0 disables.  A kernel
+  /// whose fault-free time already exceeds it can never finish: that is a
+  /// persistent fault (degrade immediately, no retries).
+  double kernel_timeout_us = 0;
+  /// Maximum guard degradations before the run is declared failed.
+  int max_degradations = 16;
+};
+
+/// Parse a `--run-policy` SPEC: comma-separated `key=value` with keys
+/// retries (extra attempts after the first), backoff, backoff-cap, timeout
+/// (microseconds) and degradations.  Throws IoError on malformed specs.
+RunPolicy parse_run_policy(const std::string& spec);
+
+/// One-line canonical rendering of a policy.
+std::string run_policy_str(const RunPolicy& policy);
+
+/// One fault observed during a run, and what the executor did about it.
+struct FaultEvent {
+  int64_t launch = 0;     // FaultPlan consultation index
+  std::string kernel;     // label of the faulting kernel
+  FaultKind kind = FaultKind::None;
+  int attempt = 0;        // 1-based attempt that faulted; 0 = policy timeout
+  std::string action;     // "retry" | "degrade" | "abort"
+  std::string threshold;  // guard forced off (action == "degrade")
+};
+
+/// Full report of one fault-injected run.
+struct RunOutcome {
+  bool ok = false;
+  /// Fault-free estimate under the final (possibly degraded) thresholds.
+  RunEstimate estimate;
+  /// Total simulated wall time: estimate.time_us plus every failed attempt,
+  /// backoff wait and abandoned partial run.
+  double time_us = 0;
+  double overhead_us = 0;  // time_us - estimate.time_us
+  int faults = 0;
+  int retries = 0;
+  int degradations = 0;
+  std::vector<FaultEvent> events;
+  /// Thresholds forced off, in degradation order.
+  std::vector<std::string> degraded;
+  /// Effective assignment after degradation; running the interpreter under
+  /// it yields values bit-identical to the fault-free run.
+  ThresholdEnv thresholds;
+  /// Set when !ok: why no surviving version could complete the run.
+  std::optional<Diagnostic> error;
+};
+
+/// Execute the compiled program's launch schedule on `dev` against `faults`
+/// under `policy`.  Never throws on injected faults — an unrecoverable run
+/// reports ok=false with a structured Diagnostic.  The FaultPlan advances
+/// monotonically across retries and restarts (one consultation per launch
+/// attempt), so a given plan yields one deterministic outcome.
+RunOutcome run_with_faults(const DeviceProfile& dev, const Compiled& c,
+                           const SizeEnv& sizes,
+                           const ThresholdEnv& thresholds, FaultPlan& faults,
+                           const RunPolicy& policy = {});
+
+/// Same, over a bare kernel plan (bench harness entry point; uses the
+/// plan's embedded target program for the legacy-walker fallback).
+RunOutcome run_with_faults(const DeviceProfile& dev, const KernelPlan& plan,
+                           const SizeEnv& sizes,
+                           const ThresholdEnv& thresholds, FaultPlan& faults,
+                           const RunPolicy& policy = {});
+
+/// One-line human-readable outcome summary.
+std::string outcome_str(const RunOutcome& o);
+
+}  // namespace incflat

@@ -1,0 +1,129 @@
+// Deterministic fault injection for the simulated device.
+//
+// No physical GPU means no real launch failures either — but the production
+// story (ROADMAP: survive flaky devices and interrupted runs) needs the
+// executor and autotuner exercised against them.  A FaultPlan is a seeded,
+// replayable oracle consulted once per simulated kernel launch: it answers
+// "does this launch fault, and how?" from per-kind rates, with an optional
+// scripted schedule that pins exact faults to exact launch indices for
+// tests.  Measurement noise (the autotuner's enemy) is a separate stream on
+// the same seed so launch faults and noise draws never perturb each other.
+//
+// Everything is splitmix64-deterministic: the same spec and seed produce
+// the same fault sequence on every platform, which is what makes degraded
+// runs and resumed tuning searches reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace incflat {
+
+/// The typed faults a simulated kernel launch can suffer.
+enum class FaultKind {
+  None = 0,
+  LaunchFailed,     // transient: the launch never started; retryable
+  LaunchTimeout,    // transient: the launch overran its timeout; retryable
+  LocalAllocFailed, // persistent: scratchpad allocation failed; degrade
+  DeviceLost,       // transient: device reset mid-launch; retryable
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Per-launch fault rates plus the relative measurement-noise amplitude.
+/// All rates are probabilities in [0, 1]; their sum must stay <= 1.
+struct FaultSpec {
+  double launch_failed = 0;
+  double launch_timeout = 0;
+  double local_alloc = 0;
+  double device_lost = 0;
+  /// Relative amplitude of multiplicative measurement noise: a measured
+  /// time is the true time scaled by a uniform factor in [1-noise, 1+noise].
+  double noise = 0;
+  /// Scripted faults pinned to exact launch indices (`kind@index` in the
+  /// spec syntax); they fire regardless of the rates and consume no draw.
+  std::vector<std::pair<int64_t, FaultKind>> script;
+
+  double launch_rate() const {
+    return launch_failed + launch_timeout + local_alloc + device_lost;
+  }
+  /// True when any launch can fault (randomly or scripted).
+  bool faults_launches() const {
+    return launch_rate() > 0 || !script.empty();
+  }
+  bool enabled() const { return faults_launches() || noise > 0; }
+};
+
+/// Parse a `--faults` SPEC: "off" / "" disables everything; otherwise a
+/// comma-separated list of `key=rate` entries with keys launch-failed,
+/// launch-timeout, local-alloc, device-lost, noise, the shorthand `all=R`
+/// which spreads R evenly over the four launch-fault kinds, and scripted
+/// `kind@index` entries that pin a fault to one launch ordinal.  Throws
+/// IoError on malformed specs or out-of-range rates.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+/// One-line canonical rendering of a spec (parse round-trips it).
+std::string fault_spec_str(const FaultSpec& spec);
+
+/// The seeded per-launch fault oracle.  Stateful: every next_launch() call
+/// advances the launch index, every noise_factor() call advances the noise
+/// stream.  Scripted entries override the random draw at their index (and
+/// consume no randomness, so script-only plans are exact).
+class FaultPlan {
+ public:
+  /// Default-constructed plans inject nothing and draw nothing.
+  FaultPlan() : FaultPlan(FaultSpec{}, 0) {}
+  FaultPlan(const FaultSpec& spec, uint64_t seed)
+      : spec_(spec), seed_(seed), launch_rng_(seed ^ kLaunchStream),
+        noise_rng_(seed ^ kNoiseStream) {
+    for (const auto& [ix, kind] : spec.script) script_[ix] = kind;
+  }
+
+  const FaultSpec& spec() const { return spec_; }
+  uint64_t seed() const { return seed_; }
+  bool enabled() const { return spec_.enabled() || !script_.empty(); }
+
+  /// Pin the fault for one specific launch index (0-based, in consultation
+  /// order).  Scripted faults fire regardless of the rates.
+  void script(int64_t launch_index, FaultKind kind) {
+    script_[launch_index] = kind;
+  }
+
+  /// Decide the fault for the next simulated launch and advance the
+  /// sequence.  Scripted index -> scripted kind (no draw); otherwise one
+  /// uniform draw partitioned by the per-kind rates (no draw at all when
+  /// every rate is zero, so disabled plans are free).
+  FaultKind next_launch();
+
+  /// Multiplicative noise factor for one measurement: uniform in
+  /// [1-noise, 1+noise]; exactly 1.0 (and no draw) when noise is zero.
+  double noise_factor();
+
+  /// Launches consulted so far (the index the next next_launch() decides).
+  int64_t launches() const { return launch_ix_; }
+
+  /// Restart both streams from the seed; the scripted schedule is kept.
+  void reset() {
+    launch_rng_ = Rng(seed_ ^ kLaunchStream);
+    noise_rng_ = Rng(seed_ ^ kNoiseStream);
+    launch_ix_ = 0;
+  }
+
+ private:
+  static constexpr uint64_t kLaunchStream = 0x1a0c4fa171bee5ULL;
+  static constexpr uint64_t kNoiseStream = 0x9015ebadf00dULL;
+
+  FaultSpec spec_;
+  uint64_t seed_ = 0;
+  Rng launch_rng_;
+  Rng noise_rng_;
+  int64_t launch_ix_ = 0;
+  std::map<int64_t, FaultKind> script_;
+};
+
+}  // namespace incflat

@@ -213,6 +213,78 @@ PathSig plan_signature(const KernelPlan& plan, const PlanDatasetCache& cache,
   return sig;
 }
 
+std::vector<LaunchInfo> plan_launch_schedule(const KernelPlan& plan,
+                                             const PlanDatasetCache& cache,
+                                             const ThresholdEnv& thresholds) {
+  std::vector<LaunchInfo> out;
+  if (plan.legacy_fallback) return out;
+  std::vector<std::pair<std::string, bool>> path;
+  // Walks node `id`, appending its launches to `sched` and returning its
+  // simulated time (the same arithmetic as Traversal::eval, so entry times
+  // sum to plan_cost).
+  const std::function<double(int, std::vector<LaunchInfo>&)> walk =
+      [&](int id, std::vector<LaunchInfo>& sched) -> double {
+    const PlanNode& n = plan.nodes[static_cast<size_t>(id)];
+    switch (n.kind) {
+      case PlanNode::Kind::Block: {
+        double t = 0;
+        for (const PlanNode::Step& s : n.steps) {
+          if (s.is_kernel) {
+            const KernelDesc& d = plan.kernels[static_cast<size_t>(s.index)];
+            const auto& pk = cache.kernel(s.index);
+            LaunchInfo li;
+            li.kernel = s.index;
+            li.what = d.what;
+            li.time_us = pk.time_us;
+            li.launches = d.launches;
+            li.guard_path = path;
+            sched.push_back(std::move(li));
+            t += pk.time_us;
+          } else {
+            t += walk(s.index, sched);
+          }
+        }
+        return t;
+      }
+      case PlanNode::Kind::Guard: {
+        const GuardInfo& g = plan.guards[static_cast<size_t>(n.guard)];
+        const bool taken = cache.guard_taken(n.guard, thresholds.get(g.threshold));
+        path.emplace_back(g.threshold, taken);
+        const double t = walk(taken ? n.then_node : n.else_node, sched);
+        path.pop_back();
+        return t;
+      }
+      case PlanNode::Kind::DataCond: {
+        // The estimate merges the worse branch's report; the schedule takes
+        // the same branch (a deterministic stand-in for the data-dependent
+        // choice a real run would make).
+        std::vector<LaunchInfo> sa, sb;
+        const double ta = walk(n.then_node, sa);
+        const double tb = walk(n.else_node, sb);
+        std::vector<LaunchInfo>& worse = ta >= tb ? sa : sb;
+        sched.insert(sched.end(), std::make_move_iterator(worse.begin()),
+                     std::make_move_iterator(worse.end()));
+        return std::max(ta, tb);
+      }
+      case PlanNode::Kind::Scale: {
+        const int64_t count = cache.values().get_i(n.count);
+        std::vector<LaunchInfo> body;
+        const double body_t = walk(n.child, body);
+        for (LaunchInfo& li : body) {
+          li.time_us *= static_cast<double>(count);
+          li.launches *= count;
+          li.what += " x" + std::to_string(count);
+          sched.push_back(std::move(li));
+        }
+        return body_t * static_cast<double>(count);
+      }
+    }
+    INCFLAT_FAIL("plan: unknown node kind");
+  };
+  walk(plan.root, out);
+  return out;
+}
+
 RunEstimate plan_estimate_run(const KernelPlan& plan, const DeviceProfile& dev,
                               const SizeEnv& sizes,
                               const ThresholdEnv& thresholds) {

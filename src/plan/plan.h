@@ -177,6 +177,33 @@ double plan_cost(const KernelPlan& plan, const PlanDatasetCache& cache,
 PathSig plan_signature(const KernelPlan& plan, const PlanDatasetCache& cache,
                        const ThresholdEnv& thresholds);
 
+/// One entry of a run's kernel-launch schedule: a kernel step the estimate
+/// prices under a concrete threshold assignment, annotated with the guard
+/// decisions on its tree path (outermost first).  The guard path is the raw
+/// material of the executor's *degradation chain* (src/exec/runtime.h): on a
+/// persistent fault the innermost taken guard is forced off, falling back
+/// from the selected code version to its guarded sibling (intra-group ->
+/// outer-only sequentialised -> fully flattened).
+struct LaunchInfo {
+  int kernel = -1;     // KernelPlan::kernels index
+  std::string what;    // kernel label, with the Scale "xN" suffix applied
+  double time_us = 0;  // total simulated time of this entry
+  int64_t launches = 1;  // physical launches it represents (static x trips)
+  /// Threshold guards on the path from the root to this kernel, with the
+  /// branch each takes under the assignment.
+  std::vector<std::pair<std::string, bool>> guard_path;
+};
+
+/// The ordered launch schedule plan_estimate prices under `thresholds`:
+/// Guard nodes descend the selected branch, DataCond descends the worse
+/// branch (the one whose report plan_estimate merges), Scale multiplies
+/// time and launch counts.  Entry times sum to plan_cost.  Empty for
+/// legacy_fallback plans (the executor then degrades via the estimate's
+/// flat guard list instead).
+std::vector<LaunchInfo> plan_launch_schedule(const KernelPlan& plan,
+                                             const PlanDatasetCache& cache,
+                                             const ThresholdEnv& thresholds);
+
 /// Convenience: build a throwaway cache and estimate (one-off queries; for
 /// repeated evaluation build a PlanDatasetCache per dataset and reuse it).
 RunEstimate plan_estimate_run(const KernelPlan& plan, const DeviceProfile& dev,

@@ -25,6 +25,15 @@ class EvalError : public std::runtime_error {
   explicit EvalError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/// Thrown on file-system failures: unreadable input files, failed atomic
+/// writes, corrupt or mismatched tuning journals.  Derives from EvalError so
+/// existing handlers of runtime failures keep working; the incflatc driver
+/// maps it to its documented input-error exit code (3).
+class IoError : public EvalError {
+ public:
+  explicit IoError(const std::string& msg) : EvalError(msg) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_compiler_error(const char* file, int line,
                                               const std::string& msg) {

@@ -1,7 +1,7 @@
 #include "src/support/pool.h"
 
 #include <algorithm>
-#include <string>
+#include <sstream>
 
 #include "src/support/trace.h"
 
@@ -28,7 +28,10 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
   int64_t done = 0;
-  while (next_ < n_) {
+  // A failed task stops the dispatch of *remaining* items (in-flight tasks
+  // on other workers still complete); every captured exception is kept for
+  // the caller's aggregate, not just the first.
+  while (next_ < n_ && errs_.empty()) {
     const int ix = next_++;
     const std::function<void(int)>* fn = fn_;
     lk.unlock();
@@ -40,7 +43,10 @@ void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
     }
     ++done;
     lk.lock();
-    if (e && !err_) err_ = e;
+    if (e) {
+      errs_.push_back(e);
+      next_ = n_;  // cancel undispatched items for all workers
+    }
   }
   // Per-worker utilization: how evenly run() batches spread over the pool.
   if (done > 0 && trace::enabled()) {
@@ -67,19 +73,39 @@ void WorkerPool::run(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   trace::Span span("pool.run", "pool");
   std::unique_lock<std::mutex> lk(mu_);
+  if (running_) {
+    // Reentrant run() — from inside a task or concurrently from another
+    // thread — would corrupt the batch state and deadlock; fail loudly.
+    throw std::logic_error(
+        "WorkerPool::run is not reentrant (called while a batch is active)");
+  }
+  running_ = true;
   fn_ = &fn;
   n_ = n;
   next_ = 0;
-  err_ = nullptr;
+  errs_.clear();
   ++generation_;
   cv_start_.notify_all();
   drain(lk, 0);
   cv_done_.wait(lk, [&] { return active_ == 0 && next_ >= n_; });
   fn_ = nullptr;
-  if (err_) {
-    std::exception_ptr e = err_;
-    err_ = nullptr;
-    std::rethrow_exception(e);
+  running_ = false;
+  if (!errs_.empty()) {
+    std::vector<std::exception_ptr> errs;
+    errs.swap(errs_);
+    if (errs.size() == 1) std::rethrow_exception(errs[0]);
+    std::ostringstream os;
+    os << "worker pool: " << errs.size() << " tasks failed:";
+    for (const std::exception_ptr& e : errs) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const std::exception& ex) {
+        os << "\n  " << ex.what();
+      } catch (...) {
+        os << "\n  <non-standard exception>";
+      }
+    }
+    throw WorkerPoolError(os.str(), errs.size());
   }
 }
 

@@ -11,10 +11,25 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace incflat {
+
+/// Thrown by WorkerPool::run when more than one task failed: the message
+/// aggregates every captured exception (a lone failure is rethrown as its
+/// original type instead, preserving catch sites).
+class WorkerPoolError : public std::runtime_error {
+ public:
+  WorkerPoolError(const std::string& msg, size_t failures)
+      : std::runtime_error(msg), failures_(failures) {}
+  size_t failures() const { return failures_; }
+
+ private:
+  size_t failures_;
+};
 
 class WorkerPool {
  public:
@@ -25,8 +40,12 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Run fn(0) .. fn(n-1) across the pool; the calling thread participates.
-  /// Blocks until every task finished.  If tasks threw, the first captured
-  /// exception is rethrown in the caller.  Not reentrant.
+  /// Blocks until every started task finished.  Once any task throws, no
+  /// further items are dispatched (in-flight ones still complete); a single
+  /// captured exception is rethrown as-is, several are aggregated into one
+  /// WorkerPoolError listing them all.  Not reentrant: calling run() from
+  /// inside a task (or concurrently from another thread) fails loudly with
+  /// std::logic_error instead of deadlocking.
   void run(int n, const std::function<void(int)>& fn);
 
   /// Total width including the calling thread.
@@ -45,7 +64,8 @@ class WorkerPool {
   int active_ = 0;
   uint64_t generation_ = 0;
   bool stop_ = false;
-  std::exception_ptr err_;
+  bool running_ = false;  // a run() batch is in flight (reentrancy guard)
+  std::vector<std::exception_ptr> errs_;
 };
 
 }  // namespace incflat

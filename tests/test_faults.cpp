@@ -1,0 +1,646 @@
+// Fault injection, graceful degradation, and the crash-safe noisy tuner.
+//
+// Covers the robustness contract end to end:
+//   * FaultSpec / RunPolicy parsing and canonical round-trips;
+//   * FaultPlan determinism (same seed => same sequence) and scripted
+//     schedules;
+//   * plan_launch_schedule agrees with plan_cost and carries guard paths;
+//   * retry/backoff accounting to the microsecond on scripted faults;
+//   * the degradation chain on every benchsuite program and both devices:
+//     a degraded run's values are bit-identical to the source program's
+//     (the interpreter oracle);
+//   * unrecoverable runs return a structured Diagnostic, never throw;
+//   * the noisy median-of-k tuner still finds the exhaustive oracle's
+//     quality on the Fig. 2 matmul, candidates that time out are marked
+//     infeasible, the wall-clock budget stops the search gracefully, and a
+//     crash-truncated journal resumes to a bit-identical TuningReport.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/autotune/autotune.h"
+#include "src/autotune/journal.h"
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/exec/runtime.h"
+#include "src/gpusim/faults.h"
+#include "src/plan/plan.h"
+#include "src/support/error.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultSpec / RunPolicy parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesKindsAndRoundTrips) {
+  const FaultSpec s = parse_fault_spec(
+      "launch-failed=0.1,launch-timeout=0.2,local-alloc=0.05,"
+      "device-lost=0.01,noise=0.3");
+  EXPECT_DOUBLE_EQ(s.launch_failed, 0.1);
+  EXPECT_DOUBLE_EQ(s.launch_timeout, 0.2);
+  EXPECT_DOUBLE_EQ(s.local_alloc, 0.05);
+  EXPECT_DOUBLE_EQ(s.device_lost, 0.01);
+  EXPECT_DOUBLE_EQ(s.noise, 0.3);
+  EXPECT_TRUE(s.enabled());
+  // The canonical rendering parses back to the same spec.
+  const FaultSpec back = parse_fault_spec(fault_spec_str(s));
+  EXPECT_DOUBLE_EQ(back.launch_failed, s.launch_failed);
+  EXPECT_DOUBLE_EQ(back.launch_timeout, s.launch_timeout);
+  EXPECT_DOUBLE_EQ(back.local_alloc, s.local_alloc);
+  EXPECT_DOUBLE_EQ(back.device_lost, s.device_lost);
+  EXPECT_DOUBLE_EQ(back.noise, s.noise);
+}
+
+TEST(FaultSpec, AllShorthandSpreadsEvenly) {
+  const FaultSpec s = parse_fault_spec("all=0.02");
+  EXPECT_DOUBLE_EQ(s.launch_failed, 0.005);
+  EXPECT_DOUBLE_EQ(s.launch_timeout, 0.005);
+  EXPECT_DOUBLE_EQ(s.local_alloc, 0.005);
+  EXPECT_DOUBLE_EQ(s.device_lost, 0.005);
+  EXPECT_DOUBLE_EQ(s.noise, 0.0);
+}
+
+TEST(FaultSpec, OffAndEmptyDisable) {
+  EXPECT_FALSE(parse_fault_spec("").enabled());
+  EXPECT_FALSE(parse_fault_spec("off").enabled());
+  EXPECT_FALSE(parse_fault_spec("none").enabled());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_spec("all=zzz"), IoError);
+  EXPECT_THROW(parse_fault_spec("launch-failed=1.5"), IoError);
+  EXPECT_THROW(parse_fault_spec("launch-failed=-0.1"), IoError);
+  EXPECT_THROW(parse_fault_spec("bogus-key=0.1"), IoError);
+  EXPECT_THROW(parse_fault_spec("launch-failed"), IoError);
+  // Launch rates must sum to a probability.
+  EXPECT_THROW(parse_fault_spec("launch-failed=0.6,device-lost=0.6"),
+               IoError);
+  // Noise is a relative amplitude in [0, 1).
+  EXPECT_THROW(parse_fault_spec("noise=1.0"), IoError);
+  // Scripted entries need a known kind and a non-negative integer index.
+  EXPECT_THROW(parse_fault_spec("bogus@0"), IoError);
+  EXPECT_THROW(parse_fault_spec("local-alloc@-1"), IoError);
+  EXPECT_THROW(parse_fault_spec("local-alloc@x"), IoError);
+  EXPECT_THROW(parse_fault_spec("noise@0"), IoError);
+}
+
+TEST(FaultSpec, ScriptedEntriesParseRoundTripAndSeedThePlan) {
+  const FaultSpec s =
+      parse_fault_spec("local-alloc@0,device-lost@3,launch-failed=0.25");
+  ASSERT_EQ(s.script.size(), 2u);
+  EXPECT_EQ(s.script[0].first, 0);
+  EXPECT_EQ(s.script[0].second, FaultKind::LocalAllocFailed);
+  EXPECT_EQ(s.script[1].first, 3);
+  EXPECT_EQ(s.script[1].second, FaultKind::DeviceLost);
+  const FaultSpec back = parse_fault_spec(fault_spec_str(s));
+  EXPECT_EQ(back.script, s.script);
+  EXPECT_EQ(back.launch_failed, s.launch_failed);
+
+  // A script-only spec has a zero launch rate but still faults launches.
+  const FaultSpec only = parse_fault_spec("local-alloc@2");
+  EXPECT_EQ(only.launch_rate(), 0.0);
+  EXPECT_TRUE(only.faults_launches());
+  EXPECT_TRUE(only.enabled());
+
+  // The plan honours the spec's script without consuming any randomness.
+  FaultPlan plan(only, 17);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.next_launch(), FaultKind::None);
+  EXPECT_EQ(plan.next_launch(), FaultKind::None);
+  EXPECT_EQ(plan.next_launch(), FaultKind::LocalAllocFailed);
+  EXPECT_EQ(plan.next_launch(), FaultKind::None);
+}
+
+TEST(RunPolicy, ParsesAndRoundTrips) {
+  const RunPolicy p =
+      parse_run_policy("retries=2,backoff=10,backoff-cap=100,timeout=500,"
+                       "degradations=3");
+  EXPECT_EQ(p.max_attempts, 3);  // first try + 2 retries
+  EXPECT_DOUBLE_EQ(p.backoff_us, 10);
+  EXPECT_DOUBLE_EQ(p.backoff_cap_us, 100);
+  EXPECT_DOUBLE_EQ(p.kernel_timeout_us, 500);
+  EXPECT_EQ(p.max_degradations, 3);
+  const RunPolicy back = parse_run_policy(run_policy_str(p));
+  EXPECT_EQ(back.max_attempts, p.max_attempts);
+  EXPECT_DOUBLE_EQ(back.backoff_us, p.backoff_us);
+  EXPECT_EQ(back.max_degradations, p.max_degradations);
+}
+
+TEST(RunPolicy, DefaultsAndErrors) {
+  const RunPolicy d = parse_run_policy("");
+  EXPECT_EQ(d.max_attempts, 4);
+  EXPECT_EQ(parse_run_policy("default").max_attempts, d.max_attempts);
+  EXPECT_THROW(parse_run_policy("retries=-1"), IoError);
+  EXPECT_THROW(parse_run_policy("retries=1.5"), IoError);
+  EXPECT_THROW(parse_run_policy("nonsense"), IoError);
+  EXPECT_THROW(parse_run_policy("unknown=1"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSequence) {
+  const FaultSpec spec = parse_fault_spec("all=0.2,noise=0.1");
+  FaultPlan a(spec, 42), b(spec, 42), c(spec, 43);
+  bool differs_from_c = false;
+  for (int i = 0; i < 1000; ++i) {
+    const FaultKind ka = a.next_launch();
+    EXPECT_EQ(ka, b.next_launch()) << "launch " << i;
+    EXPECT_DOUBLE_EQ(a.noise_factor(), b.noise_factor()) << "noise " << i;
+    if (ka != c.next_launch()) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c);  // a different seed gives a different plan
+}
+
+TEST(FaultPlan, ResetReplaysFromTheSeed) {
+  const FaultSpec spec = parse_fault_spec("all=0.3");
+  FaultPlan p(spec, 7);
+  std::vector<FaultKind> first;
+  for (int i = 0; i < 100; ++i) first.push_back(p.next_launch());
+  p.reset();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.next_launch(), first[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(FaultPlan, ScriptedFaultsFireAtTheirIndexOnly) {
+  FaultPlan p;  // zero rates: nothing random can fire
+  p.script(3, FaultKind::DeviceLost);
+  p.script(5, FaultKind::LocalAllocFailed);
+  for (int i = 0; i < 10; ++i) {
+    const FaultKind k = p.next_launch();
+    if (i == 3) {
+      EXPECT_EQ(k, FaultKind::DeviceLost);
+    } else if (i == 5) {
+      EXPECT_EQ(k, FaultKind::LocalAllocFailed);
+    } else {
+      EXPECT_EQ(k, FaultKind::None);
+    }
+  }
+  EXPECT_EQ(p.launches(), 10);
+}
+
+TEST(FaultPlan, ScriptedOverridesConsumeNoRandomness) {
+  // Two plans with the same seed, one with a scripted override: the random
+  // sequence after the scripted index must be unaffected.
+  const FaultSpec spec = parse_fault_spec("all=0.25");
+  FaultPlan plain(spec, 99), scripted(spec, 99);
+  scripted.script(0, FaultKind::DeviceLost);
+  EXPECT_EQ(scripted.next_launch(), FaultKind::DeviceLost);
+  const FaultKind first_random = plain.next_launch();
+  (void)first_random;
+  // From index 1 on, `scripted` is one draw *behind* plain — replay both
+  // from scratch to compare aligned sequences instead.
+  plain.reset();
+  scripted.reset();
+  std::vector<FaultKind> seq_plain, seq_scripted;
+  for (int i = 0; i < 50; ++i) seq_plain.push_back(plain.next_launch());
+  for (int i = 0; i < 50; ++i) seq_scripted.push_back(scripted.next_launch());
+  EXPECT_EQ(seq_scripted[0], FaultKind::DeviceLost);
+  // The scripted launch consumed no draw, so scripted[i] == plain[i-1].
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_EQ(seq_scripted[static_cast<size_t>(i)],
+              seq_plain[static_cast<size_t>(i - 1)])
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// plan_launch_schedule
+// ---------------------------------------------------------------------------
+
+TEST(LaunchSchedule, SumsToPlanCostAndCarriesGuardPaths) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  ASSERT_TRUE(c.plan && !c.plan->legacy_fallback);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+  const PlanDatasetCache cache(*c.plan, dev, sizes);
+
+  ThresholdEnv all_on;
+  all_on.default_threshold = 1;
+  for (const ThresholdEnv& env : {ThresholdEnv{}, all_on}) {
+    const std::vector<LaunchInfo> sched =
+        plan_launch_schedule(*c.plan, cache, env);
+    ASSERT_FALSE(sched.empty());
+    double total = 0;
+    for (const LaunchInfo& li : sched) total += li.time_us;
+    const double want = plan_cost(*c.plan, cache, env);
+    EXPECT_NEAR(total, want, 1e-9 * std::max(1.0, want));
+  }
+
+  // Under the all-on assignment the selected kernels sit below taken
+  // guards: the degradation chain must be visible on their paths.
+  bool some_taken = false;
+  for (const LaunchInfo& li : plan_launch_schedule(*c.plan, cache, all_on)) {
+    for (const auto& [name, taken] : li.guard_path) {
+      if (taken) some_taken = true;
+    }
+  }
+  EXPECT_TRUE(some_taken);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / backoff accounting (scripted, exact to the microsecond)
+// ---------------------------------------------------------------------------
+
+TEST(FaultedRun, TransientFaultsRetryWithExponentialBackoff) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();  // launch_overhead_us = 5.0
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+  const RunEstimate fault_free = simulate(dev, c, sizes, {});
+
+  // Launches 0 and 1 fail transiently, launch 2 (second attempt of the
+  // first kernel... actually third) succeeds.
+  FaultPlan faults;
+  faults.script(0, FaultKind::LaunchFailed);
+  faults.script(1, FaultKind::LaunchFailed);
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.faults, 2);
+  EXPECT_EQ(out.retries, 2);
+  EXPECT_EQ(out.degradations, 0);
+  // Each failed launch burns launch_overhead_us (5); backoffs are 50 then
+  // 100 (50 * 2^1), so the overhead is exactly 2*5 + 50 + 100.
+  EXPECT_DOUBLE_EQ(out.overhead_us, 160.0);
+  EXPECT_DOUBLE_EQ(out.time_us, fault_free.time_us + 160.0);
+  EXPECT_DOUBLE_EQ(out.estimate.time_us, fault_free.time_us);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].action, "retry");
+  EXPECT_EQ(out.events[0].attempt, 1);
+  EXPECT_EQ(out.events[1].attempt, 2);
+}
+
+TEST(FaultedRun, DeviceLostCostsAResetRoundTrip) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+
+  FaultPlan faults;
+  faults.script(0, FaultKind::DeviceLost);
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.faults, 1);
+  EXPECT_EQ(out.retries, 1);
+  // 10x launch overhead for the reset plus the first backoff of 50.
+  EXPECT_DOUBLE_EQ(out.overhead_us, 10 * dev.launch_overhead_us + 50.0);
+}
+
+TEST(FaultedRun, BackoffIsCapped) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+
+  // 6 transient faults in a row with a tiny cap: backoffs are
+  // min(50*2^k, 80) = 50, 80, 80, 80, 80, and the 6th attempt succeeds.
+  RunPolicy policy = parse_run_policy("retries=8,backoff=50,backoff-cap=80");
+  FaultPlan faults;
+  for (int i = 0; i < 5; ++i) faults.script(i, FaultKind::LaunchFailed);
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults, policy);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.retries, 5);
+  EXPECT_DOUBLE_EQ(out.overhead_us, 5 * 5.0 + 50 + 80 + 80 + 80 + 80);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation chain: every benchmark, both devices, interpreter oracle
+// ---------------------------------------------------------------------------
+
+class DegradationSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DegradationSuite, DegradedRunsAreValueIdenticalToTheSource) {
+  const Benchmark b = get_benchmark(GetParam());
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  Rng rng(0xabc);
+  const std::vector<Value> inputs = b.gen_inputs(rng, b.test_sizes);
+  const Values want = execute_source(c, b.test_sizes, inputs);
+
+  // Threshold 1 turns every guard on at the interpreter-sized datasets, so
+  // the run starts on the most-parallel version with the whole chain of
+  // sibling versions below it.
+  ThresholdEnv all_on;
+  all_on.default_threshold = 1;
+
+  for (const DeviceProfile& dev : {device_k40(), device_vega64()}) {
+    // A scripted persistent fault on the first launch forces at least one
+    // degradation (when a taken guard exists at these sizes).
+    FaultPlan scripted;
+    scripted.script(0, FaultKind::LocalAllocFailed);
+    const RunOutcome one =
+        run_with_faults(dev, c, b.test_sizes, all_on, scripted);
+    if (one.ok && one.degradations > 0) {
+      const Values got = execute(dev, c, b.test_sizes, one.thresholds, inputs);
+      ASSERT_EQ(got.size(), want.size()) << b.name << " " << dev.name;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(got[i].approx_equal(want[i], 0))
+            << b.name << " on " << dev.name << ": degraded run diverged";
+      }
+    }
+
+    // A heavy random local-alloc rate walks further down the chain; every
+    // recoverable outcome must stay bit-identical, every unrecoverable one
+    // must carry a structured diagnostic.
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      FaultPlan heavy(parse_fault_spec("local-alloc=0.5"), seed);
+      const RunOutcome out =
+          run_with_faults(dev, c, b.test_sizes, all_on, heavy);
+      if (!out.ok) {
+        ASSERT_TRUE(out.error.has_value());
+        EXPECT_EQ(out.error->check, "fault-unrecoverable");
+        continue;
+      }
+      EXPECT_EQ(static_cast<int>(out.degraded.size()), out.degradations);
+      const Values got = execute(dev, c, b.test_sizes, out.thresholds, inputs);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(got[i].approx_equal(want[i], 0))
+            << b.name << " on " << dev.name << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DegradationSuite,
+                         ::testing::ValuesIn(all_benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(FaultedRun, DegradationForcesTheInnermostTakenGuardOff) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;  // large: guards taken
+
+  FaultPlan faults;
+  faults.script(0, FaultKind::LocalAllocFailed);
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.degradations, 1);
+  ASSERT_EQ(out.degraded.size(), 1u);
+  // The forced guard reads as "always off" in the effective assignment.
+  EXPECT_EQ(out.thresholds.values.at(out.degraded[0]), int64_t{1} << 62);
+  // And the degrade event names it.
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_EQ(out.events.back().action, "degrade");
+  EXPECT_EQ(out.events.back().threshold, out.degraded[0]);
+  // The degraded estimate prices the *sibling* version: selection changed.
+  const RunEstimate fault_free = simulate(dev, c, sizes, {});
+  EXPECT_NE(out.estimate.time_us, fault_free.time_us);
+}
+
+TEST(FaultedRun, AllVersionsFailingReturnsAStructuredDiagnostic) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+
+  // Every launch alloc-fails: the chain degrades to the fully flattened
+  // leaf, which then also faults persistently — no sibling remains.
+  FaultPlan faults(parse_fault_spec("local-alloc=1"), 0);
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults);
+  EXPECT_FALSE(out.ok);
+  ASSERT_TRUE(out.error.has_value());
+  EXPECT_EQ(out.error->severity, Severity::Error);
+  EXPECT_EQ(out.error->check, "fault-unrecoverable");
+  EXPECT_NE(out.error->message.find("no surviving sibling"),
+            std::string::npos);
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_EQ(out.events.back().action, "abort");
+  EXPECT_GT(out.time_us, 0);  // the failed attempts still cost time
+}
+
+TEST(FaultedRun, DegradationBudgetIsEnforced) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+
+  FaultPlan faults(parse_fault_spec("local-alloc=1"), 0);
+  const RunPolicy policy = parse_run_policy("degradations=1");
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults, policy);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.degradations, 1);
+  ASSERT_TRUE(out.error.has_value());
+  EXPECT_NE(out.error->message.find("degradation budget"), std::string::npos);
+}
+
+TEST(FaultedRun, PolicyTimeoutDegradesKernelsThatCanNeverFinish) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+
+  // A 1us per-kernel timeout is below every matmul kernel's fault-free
+  // time: every version times out persistently and the run ends in a
+  // structured failure (never an exception).
+  FaultPlan faults;  // no injected faults: the timeout alone triggers
+  const RunPolicy policy = parse_run_policy("timeout=1");
+  const RunOutcome out = run_with_faults(dev, c, sizes, {}, faults, policy);
+  EXPECT_FALSE(out.ok);
+  ASSERT_TRUE(out.error.has_value());
+  EXPECT_EQ(out.error->check, "fault-unrecoverable");
+  EXPECT_GT(out.degradations, 0);  // it walked the chain before giving up
+}
+
+TEST(FaultedRun, DisabledFaultPlanIsBitIdenticalToSimulate) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  for (const auto& ds : b.datasets) {
+    FaultPlan none;
+    const RunOutcome out = run_with_faults(dev, c, ds.sizes, {}, none);
+    const RunEstimate est = simulate(dev, c, ds.sizes, {});
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.faults, 0);
+    EXPECT_DOUBLE_EQ(out.overhead_us, 0);
+    EXPECT_DOUBLE_EQ(out.time_us, est.time_us);
+    EXPECT_DOUBLE_EQ(out.estimate.time_us, est.time_us);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Noisy, fallible, crash-safe tuning
+// ---------------------------------------------------------------------------
+
+std::vector<TuningDataset> training_sets(const Benchmark& b) {
+  std::vector<TuningDataset> train;
+  for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
+  return train;
+}
+
+TEST(NoisyTuner, StillFindsTheExhaustiveOracleQualityOnMatmul) {
+  const Benchmark b = bench_matmul();
+  const FlattenResult fr = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const auto train = training_sets(b);
+
+  const TuningReport oracle =
+      exhaustive_tune(dev, fr.program, fr.thresholds, train);
+
+  TunerOptions topts;
+  topts.noise = 0.05;        // +-5% multiplicative measurement noise
+  topts.failure_rate = 0.02; // 2% of measurements crash outright
+  topts.measure_k = 5;
+  TuningReport noisy = autotune(dev, fr.program, fr.thresholds, train, topts);
+
+  // Judge the noisy search by the *true* cost of its chosen assignment:
+  // median-of-5 re-measurement keeps it at the oracle's quality.
+  const double true_best = tuning_cost(dev, fr.program, train, noisy.best);
+  EXPECT_LE(true_best, oracle.best_cost_us * 1.02)
+      << "noisy tuner lost more than 2% to the exhaustive oracle";
+}
+
+TEST(NoisyTuner, NoiseFreeOptionsAreBitIdenticalToTheDefaultSearch) {
+  // A session with a journal but no noise must not change the search.
+  const Benchmark b = bench_matmul();
+  const FlattenResult fr = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const auto train = training_sets(b);
+
+  const TuningReport plain =
+      autotune(dev, fr.program, fr.thresholds, train, {});
+  TunerOptions jopts;
+  const std::string path = "/tmp/incflat_test_plainjournal.journal";
+  jopts.journal = path;
+  const TuningReport journaled =
+      autotune(dev, fr.program, fr.thresholds, train, jopts);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(journaled.best_cost_us, plain.best_cost_us);
+  EXPECT_EQ(journaled.best.values, plain.best.values);
+  EXPECT_EQ(journaled.trials, plain.trials);
+  EXPECT_EQ(journaled.evaluations, plain.evaluations);
+  EXPECT_EQ(journaled.dedup_hits, plain.dedup_hits);
+}
+
+TEST(NoisyTuner, CandidateTimeoutMarksInfeasibleInsteadOfAborting) {
+  const Benchmark b = bench_matmul();
+  const FlattenResult fr = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const auto train = training_sets(b);
+
+  TunerOptions topts;
+  topts.candidate_timeout_us = 1.0;  // far below any real assignment's cost
+  const TuningReport rep =
+      autotune(dev, fr.program, fr.thresholds, train, topts);
+  EXPECT_GT(rep.infeasible, 0);
+  EXPECT_EQ(rep.infeasible, rep.evaluations);
+  // Nothing was adoptable: the incumbent stays the default assignment.
+  EXPECT_TRUE(rep.best.values.empty());
+  EXPECT_TRUE(std::isinf(rep.best_cost_us));
+}
+
+TEST(NoisyTuner, WallClockBudgetStopsGracefully) {
+  const Benchmark b = bench_matmul();
+  const FlattenResult fr = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const auto train = training_sets(b);
+
+  TunerOptions topts;
+  topts.max_trials = 200000;  // would take far longer than the budget
+  topts.budget_ms = 5;
+  const TuningReport rep =
+      autotune(dev, fr.program, fr.thresholds, train, topts);
+  EXPECT_TRUE(rep.early_stopped);
+  EXPECT_LT(rep.trials, topts.max_trials);
+  // The incumbent is still a valid report.
+  EXPECT_GT(rep.best_cost_us, 0);
+  EXPECT_LE(rep.best_cost_us, rep.default_cost_us);
+}
+
+// ---------------------------------------------------------------------------
+// Journal: crash-truncated resume is bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(Journal, ResumeAfterCrashIsBitIdentical) {
+  const Benchmark b = bench_matmul();
+  const FlattenResult fr = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const auto train = training_sets(b);
+  const std::string path = "/tmp/incflat_test_resume.journal";
+
+  TunerOptions topts;
+  topts.noise = 0.05;
+  topts.failure_rate = 0.02;
+  topts.journal = path;
+
+  // Reference: one uninterrupted journaled run.
+  const TuningReport full =
+      autotune(dev, fr.program, fr.thresholds, train, topts);
+
+  // Simulate the crash: keep the header and roughly half the evaluation
+  // lines, tearing the final kept line mid-token (as an interrupted append
+  // would).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 4u);  // magic + meta + a few entries
+  const size_t keep = 2 + (lines.size() - 2) / 2;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (size_t i = 0; i < keep; ++i) out << lines[i] << "\n";
+    out << lines[keep].substr(0, lines[keep].size() / 2);  // torn, no '\n'
+  }
+
+  TunerOptions ropts = topts;
+  ropts.resume = true;
+  const TuningReport resumed =
+      autotune(dev, fr.program, fr.thresholds, train, ropts);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(resumed.best_cost_us, full.best_cost_us);
+  EXPECT_EQ(resumed.best.values, full.best.values);
+  EXPECT_EQ(resumed.trials, full.trials);
+  EXPECT_EQ(resumed.evaluations, full.evaluations);
+  EXPECT_EQ(resumed.dedup_hits, full.dedup_hits);
+  EXPECT_EQ(resumed.default_cost_us, full.default_cost_us);
+  EXPECT_EQ(resumed.journal_replayed, static_cast<int>(keep) - 2);
+  EXPECT_GT(resumed.journal_replayed, 0);
+}
+
+TEST(Journal, ResumeRefusesAMismatchedSearch) {
+  const Benchmark b = bench_matmul();
+  const FlattenResult fr = flatten(b.program, FlattenMode::Incremental);
+  const DeviceProfile dev = device_k40();
+  const auto train = training_sets(b);
+  const std::string path = "/tmp/incflat_test_mismatch.journal";
+
+  TunerOptions topts;
+  topts.noise = 0.05;
+  topts.journal = path;
+  autotune(dev, fr.program, fr.thresholds, train, topts);
+
+  // A different search seed must refuse the resume rather than silently
+  // replaying another search's measurements.
+  TunerOptions other = topts;
+  other.resume = true;
+  other.seed = topts.seed + 1;
+  EXPECT_THROW(autotune(dev, fr.program, fr.thresholds, train, other),
+               IoError);
+  // Resuming from a missing journal is an input error too.
+  TunerOptions missing = topts;
+  missing.resume = true;
+  missing.journal = "/tmp/incflat_test_missing.journal";
+  std::remove(missing.journal.c_str());
+  EXPECT_THROW(autotune(dev, fr.program, fr.thresholds, train, missing),
+               IoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace incflat

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "src/autotune/tuning_file.h"
 #include "src/support/error.h"
@@ -119,7 +121,64 @@ TEST(TuningFile, SaveAndLoadFile) {
   ThresholdEnv back = load_tuning(path);
   EXPECT_EQ(back.values.at("t0"), 7);
   std::remove(path.c_str());
-  EXPECT_THROW(load_tuning("/nonexistent/dir/x.tuning"), EvalError);
+  EXPECT_THROW(load_tuning("/nonexistent/dir/x.tuning"), IoError);
+}
+
+TEST(TuningFile, SaveIsAtomicAndLeavesNoTempFile) {
+  ThresholdEnv env;
+  env.values["t0"] = 7;
+  const std::string path = "/tmp/incflat_test_atomic.tuning";
+  save_tuning(path, env);
+  // The temp file used for the atomic rename must be gone.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  EXPECT_EQ(load_tuning(path).values.at("t0"), 7);
+  std::remove(path.c_str());
+}
+
+TEST(TuningFile, SaveSurvivesASimulatedPartialWrite) {
+  // A crashed earlier save can leave (a) a stray partial .tmp and (b) the
+  // destination intact.  The next save must replace both cleanly, and a
+  // load between the crash and the re-save must still see the *old*
+  // complete file, never a torn one.
+  ThresholdEnv old_env;
+  old_env.values["t0"] = 7;
+  const std::string path = "/tmp/incflat_test_partial.tuning";
+  save_tuning(path, old_env);
+
+  {
+    // Simulate the crash: a half-written temp file next to the target.
+    std::ofstream torn(path + ".tmp");
+    torn << "default=32768\nt0=1";  // cut off mid-line, no newline
+  }
+  EXPECT_EQ(load_tuning(path).values.at("t0"), 7);  // old file untouched
+
+  ThresholdEnv new_env;
+  new_env.values["t0"] = 99;
+  save_tuning(path, new_env);
+  EXPECT_EQ(load_tuning(path).values.at("t0"), 99);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(TuningFile, FailedSaveKeepsTheOldFileAndThrowsIoError) {
+  ThresholdEnv env;
+  env.values["t0"] = 7;
+  EXPECT_THROW(save_tuning("/nonexistent/dir/x.tuning", env), IoError);
+}
+
+TEST(TuningFile, TruncatedFileFailsToLoadCleanly) {
+  // A file torn mid-token (as a non-atomic writer could leave behind)
+  // raises a structured parse error instead of silently loading a wrong
+  // assignment.
+  const std::string path = "/tmp/incflat_test_torn.tuning";
+  {
+    std::ofstream f(path);
+    f << "default=32768\nt0=12junk";
+  }
+  EXPECT_THROW(load_tuning(path), EvalError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

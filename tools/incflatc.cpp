@@ -11,6 +11,7 @@
 // them), inspect the generated multi-versioned code and its branching tree,
 // autotune, persist/load `.tuning` files, and price datasets on the two
 // simulated device profiles.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -22,11 +23,14 @@
 #include "src/autotune/tuning_file.h"
 #include "src/benchsuite/benchmark.h"
 #include "src/exec/exec.h"
+#include "src/exec/runtime.h"
+#include "src/gpusim/faults.h"
 #include "src/ir/print.h"
 #include "src/ir/traverse.h"
 #include "src/ir/verify.h"
 #include "src/plan/plan.h"
 #include "src/support/diag.h"
+#include "src/support/error.h"
 #include "src/support/json.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
@@ -60,7 +64,23 @@ struct Options {
   bool verify_each = false;
   std::string passes;       // comma-separated pass list ("" = canned)
   std::string print_after;  // pass name, or "all"
+  std::string faults;       // --faults SPEC (or INCFLAT_FAULTS)
+  uint64_t fault_seed = 0xfa0175eedULL;
+  bool fault_seed_set = false;
+  std::string run_policy;   // --run-policy SPEC
+  std::string tune_journal; // --tune-journal FILE
+  bool resume = false;
 };
+
+/// Route a CLI-level error through the structured diagnostics layer.
+void cli_error(const std::string& check, const std::string& message) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.check = check;
+  d.context = "cli";
+  d.message = message;
+  std::cerr << d.str() << "\n";
+}
 
 int usage() {
   std::cerr <<
@@ -101,7 +121,24 @@ int usage() {
       "                              pipeline (default trace.json); open in\n"
       "                              chrome://tracing or ui.perfetto.dev\n"
       "  --stats                     print per-phase timings and pipeline\n"
-      "                              counters after the run\n";
+      "                              counters after the run\n"
+      "  --faults SPEC               inject simulated faults: off, or a\n"
+      "                              list of key=rate (launch-failed,\n"
+      "                              launch-timeout, local-alloc,\n"
+      "                              device-lost, noise; all=R spreads R\n"
+      "                              over the four launch kinds) and\n"
+      "                              scripted kind@launch-index entries;\n"
+      "                              also read from INCFLAT_FAULTS\n"
+      "  --fault-seed N              fault/noise RNG seed (decimal or 0x..;\n"
+      "                              also INCFLAT_FAULT_SEED)\n"
+      "  --run-policy SPEC           fault handling: retries, backoff,\n"
+      "                              backoff-cap, timeout, degradations\n"
+      "  --tune-journal FILE         append every tuner evaluation to a\n"
+      "                              crash-safe journal\n"
+      "  --resume                    resume --tune from --tune-journal to a\n"
+      "                              bit-identical report\n"
+      "exit codes: 0 success; 1 verification/lint/run failure; 2 usage;\n"
+      "            3 input file missing, unreadable or malformed\n";
   return 2;
 }
 
@@ -163,9 +200,47 @@ std::optional<Options> parse(int argc, char** argv) {
       o.trace = true;
       o.trace_out = a.substr(std::string("--trace=").size());
       if (o.trace_out.empty()) return std::nullopt;
+    } else if (a == "--faults") {
+      if (const char* v = next()) o.faults = v; else return std::nullopt;
+    } else if (a.rfind("--faults=", 0) == 0) {
+      o.faults = a.substr(std::string("--faults=").size());
+    } else if (a == "--fault-seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      try {
+        o.fault_seed = std::stoull(v, nullptr, 0);
+      } catch (const std::exception&) {
+        cli_error("usage", std::string("bad --fault-seed: ") + v);
+        return std::nullopt;
+      }
+      o.fault_seed_set = true;
+    } else if (a == "--run-policy") {
+      if (const char* v = next()) o.run_policy = v; else return std::nullopt;
+    } else if (a == "--tune-journal") {
+      if (const char* v = next()) o.tune_journal = v;
+      else return std::nullopt;
+    } else if (a == "--resume") {
+      o.resume = true;
     } else {
-      std::cerr << "unknown option: " << a << "\n";
+      cli_error("usage", "unknown option: " + a);
       return std::nullopt;
+    }
+  }
+  // Environment hooks (explicit flags win): INCFLAT_FAULTS carries a fault
+  // spec into runs that cannot edit the command line (CI soak, benches).
+  if (o.faults.empty()) {
+    if (const char* env = std::getenv("INCFLAT_FAULTS")) o.faults = env;
+  }
+  if (!o.fault_seed_set) {
+    if (const char* env = std::getenv("INCFLAT_FAULT_SEED")) {
+      try {
+        o.fault_seed = std::stoull(env, nullptr, 0);
+        o.fault_seed_set = true;
+      } catch (const std::exception&) {
+        cli_error("usage",
+                  std::string("bad INCFLAT_FAULT_SEED: ") + env);
+        return std::nullopt;
+      }
     }
   }
   return o;
@@ -288,11 +363,24 @@ int run(const Options& o) {
   ThresholdEnv thresholds;
   if (!o.tuning_in.empty()) thresholds = load_tuning(o.tuning_in);
 
+  // Fault injection: spec parse errors are input errors (exit 3, via the
+  // IoError handler in main), like an unreadable tuning file.
+  const FaultSpec fspec = parse_fault_spec(o.faults);
+  const RunPolicy policy = parse_run_policy(o.run_policy);
+
   if (o.tune) {
     std::vector<TuningDataset> train;
     for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
     TunerOptions topts;
     topts.use_plan = !o.oracle;
+    // Fault-injected tuning: the spec's noise amplitude perturbs every
+    // measurement and its launch rate makes individual measurements fail;
+    // the tuner answers with median-of-k re-measurement.
+    topts.noise = fspec.noise;
+    topts.failure_rate = fspec.launch_rate();
+    if (o.fault_seed_set) topts.measure_seed = o.fault_seed;
+    topts.journal = o.tune_journal;
+    topts.resume = o.resume;
     TuningReport rep =
         o.exhaustive
             ? exhaustive_tune(dev, fr.program, fr.thresholds, train,
@@ -304,6 +392,11 @@ int run(const Options& o) {
               << fmt_us(rep.default_cost_us) << " -> "
               << fmt_us(rep.best_cost_us) << " (" << rep.evaluations
               << " evaluations, " << rep.dedup_hits << " dedup hits)\n";
+    if (rep.journal_replayed > 0 || rep.infeasible > 0 || rep.early_stopped) {
+      std::cout << "  " << rep.journal_replayed << " replayed from journal, "
+                << rep.infeasible << " infeasible"
+                << (rep.early_stopped ? ", stopped on budget" : "") << "\n";
+    }
     if (!o.tuning_out.empty()) {
       save_tuning(o.tuning_out, thresholds);
       std::cout << "wrote " << o.tuning_out << "\n";
@@ -326,6 +419,55 @@ int run(const Options& o) {
     // to the legacy IR walker otherwise; --oracle forces the walker.
     Compiled sim = c;
     if (o.oracle) sim.plan = nullptr;
+
+    if (fspec.faults_launches()) {
+      // Fault-injected execution: retries and graceful degradation over the
+      // guard tree; an unrecoverable run reports a structured diagnostic
+      // and exits 1 instead of throwing.
+      FaultPlan fplan(fspec, o.fault_seed);
+      const RunOutcome out =
+          run_with_faults(dev, sim, ds->sizes, thresholds, fplan, policy);
+      if (o.json) {
+        Json j = Json::object();
+        j.set("benchmark", b.name)
+            .set("mode", mode_name(mode))
+            .set("device", dev.name)
+            .set("dataset", ds->name)
+            .set("faults_spec", fault_spec_str(fspec))
+            .set("fault_seed", static_cast<int64_t>(o.fault_seed))
+            .set("ok", out.ok)
+            .set("time_us", out.time_us)
+            .set("overhead_us", out.overhead_us)
+            .set("faults", out.faults)
+            .set("retries", out.retries)
+            .set("degradations", out.degradations);
+        Json degraded = Json::array();
+        for (const auto& name : out.degraded) degraded.push(Json(name));
+        j.set("degraded", std::move(degraded));
+        Json events = Json::array();
+        for (const auto& e : out.events) {
+          Json je = Json::object()
+                        .set("launch", e.launch)
+                        .set("kernel", e.kernel)
+                        .set("fault", fault_kind_name(e.kind))
+                        .set("attempt", e.attempt)
+                        .set("action", e.action);
+          if (!e.threshold.empty()) je.set("threshold", e.threshold);
+          events.push(std::move(je));
+        }
+        j.set("events", std::move(events));
+        if (out.error) j.set("error", out.error->to_json());
+        std::cout << j.str() << "\n";
+      } else {
+        std::cout << b.name << "/" << ds->name << " on " << dev.name
+                  << " (faults " << fault_spec_str(fspec) << ", seed 0x"
+                  << std::hex << o.fault_seed << std::dec
+                  << "): " << outcome_str(out) << "\n";
+        if (out.error) std::cout << "  " << out.error->str() << "\n";
+      }
+      return out.ok ? 0 : 1;
+    }
+
     const RunEstimate est = simulate(dev, sim, ds->sizes, thresholds);
     if (o.json) {
       Json j = Json::object();
@@ -390,6 +532,19 @@ int main(int argc, char** argv) {
                 << incflat::diagnostics_str(e.diagnostics());
     }
     return 1;
+  } catch (const incflat::IoError& e) {
+    // Missing, unreadable or malformed input (tuning files, journals,
+    // fault/policy specs): structured diagnostic, distinct exit code.
+    incflat::Diagnostic d;
+    d.check = "input";
+    d.context = "cli";
+    d.message = e.what();
+    if (opts->json) {
+      std::cerr << incflat::diagnostics_json({d}).str() << "\n";
+    } else {
+      std::cerr << d.str() << "\n";
+    }
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,183 @@
+// soak_faults — fault-injection soak for CI.
+//
+//   soak_faults [SPEC] [SEEDS]
+//
+// Runs every benchsuite program on both device profiles under a mixed
+// fault spec (default all=0.01, i.e. 1% of launches fault) across SEEDS
+// seeds (default 10), checking the robustness contract end to end:
+//
+//   * no run crashes or throws: every outcome is either ok or a structured
+//     fault-unrecoverable Diagnostic;
+//   * every degraded run is value-correct: executing the interpreter under
+//     the outcome's effective thresholds reproduces the source program's
+//     values bit-for-bit (the paper's semantics-preservation property);
+//   * the accounting adds up: overheads are non-negative and event counts
+//     match the fault/retry/degradation tallies;
+//   * a noisy autotuning smoke on each program completes, journals, and
+//     resumes to a bit-identical report.
+//
+// Exit code 0 only when every check passes — CI runs this under
+// ASan+UBSan, so memory errors in the fault paths also fail the job.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/autotune/autotune.h"
+#include "src/autotune/journal.h"
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/exec/runtime.h"
+#include "src/gpusim/faults.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+struct Tally {
+  int runs = 0;
+  int faulted = 0;
+  int degraded = 0;
+  int unrecoverable = 0;
+  int failures = 0;  // contract violations (crashes the job)
+};
+
+void check(Tally& t, bool ok, const std::string& what) {
+  if (ok) return;
+  ++t.failures;
+  std::cerr << "FAIL: " << what << "\n";
+}
+
+void soak_one(Tally& t, const Benchmark& b, const Compiled& c,
+              const DeviceProfile& dev, const Values& want,
+              const std::vector<Value>& inputs, const FaultSpec& spec,
+              const ThresholdEnv& thresholds, uint64_t seed) {
+  FaultPlan faults(spec, seed);
+  RunOutcome out;
+  try {
+    out = run_with_faults(dev, c, b.test_sizes, thresholds, faults);
+  } catch (const std::exception& e) {
+    check(t, false,
+          b.name + "/" + dev.name + " seed " + std::to_string(seed) +
+              ": run_with_faults threw: " + e.what());
+    return;
+  }
+  ++t.runs;
+  if (out.faults > 0) ++t.faulted;
+  if (out.degradations > 0) ++t.degraded;
+
+  const std::string tag =
+      b.name + "/" + dev.name + " seed " + std::to_string(seed);
+  if (!out.ok) {
+    ++t.unrecoverable;
+    check(t, out.error.has_value(), tag + ": failed without a diagnostic");
+    return;
+  }
+  check(t, !out.error.has_value(), tag + ": ok run carries an error");
+  check(t, out.overhead_us >= 0, tag + ": negative fault overhead");
+  check(t, out.time_us >= out.estimate.time_us - 1e-9,
+        tag + ": total time below the fault-free estimate");
+  check(t, static_cast<int>(out.degraded.size()) == out.degradations,
+        tag + ": degradation tally does not match the degraded list");
+
+  // Value correctness of the (possibly degraded) run: the interpreter under
+  // the outcome's effective thresholds must reproduce the source values
+  // bit-for-bit.
+  Values got = execute(dev, c, b.test_sizes, out.thresholds, inputs);
+  bool same = got.size() == want.size();
+  for (size_t i = 0; same && i < got.size(); ++i) {
+    same = got[i].approx_equal(want[i], 0);
+  }
+  check(t, same, tag + ": degraded run is not value-identical to the source");
+}
+
+/// Noisy, journaled tuning completes and resumes bit-identically.
+void soak_tuning(Tally& t, const Benchmark& b, const Compiled& c,
+                 const DeviceProfile& dev, const FaultSpec& spec,
+                 uint64_t seed) {
+  std::vector<TuningDataset> train;
+  for (const auto& d : b.tuning) train.push_back({d.name, d.sizes, 1.0});
+  TunerOptions topts;
+  topts.max_trials = 60;
+  topts.noise = spec.noise > 0 ? spec.noise : 0.05;
+  topts.failure_rate = spec.launch_rate();
+  topts.measure_seed = seed;
+  const std::string journal =
+      "/tmp/incflat_soak_" + b.name + "_" + dev.name + ".journal";
+  topts.journal = journal;
+  const std::string tag = b.name + "/" + dev.name + " tuning";
+  try {
+    const TuningReport first = autotune(dev, c.flat.program,
+                                        c.flat.thresholds, train, topts);
+    topts.resume = true;
+    const TuningReport again = autotune(dev, c.flat.program,
+                                        c.flat.thresholds, train, topts);
+    check(t, again.best_cost_us == first.best_cost_us &&
+                 again.best.values == first.best.values &&
+                 again.trials == first.trials &&
+                 again.evaluations == first.evaluations,
+          tag + ": resumed report differs from the original");
+    check(t, again.journal_replayed == first.evaluations,
+          tag + ": resume did not replay every evaluation");
+  } catch (const std::exception& e) {
+    check(t, false, tag + ": threw: " + std::string(e.what()));
+  }
+  std::remove(journal.c_str());
+}
+
+int soak(const std::string& spec_str, int n_seeds) {
+  const FaultSpec spec = parse_fault_spec(spec_str);
+  const std::vector<DeviceProfile> devices{device_k40(), device_vega64()};
+  Tally t;
+  for (const auto& name : all_benchmark_names()) {
+    const Benchmark b = get_benchmark(name);
+    const Compiled c = compile(b.program, FlattenMode::Incremental);
+    Rng in_rng(0xabc);
+    const std::vector<Value> inputs = b.gen_inputs(in_rng, b.test_sizes);
+    const Values want = execute_source(c, b.test_sizes, inputs);
+    // Two starting assignments: threshold 1 turns every guard on at the
+    // small interpreter sizes (the run starts most-parallel, so a
+    // persistent fault has the whole degradation chain below it); the
+    // paper-default 2^15 mostly selects the sequentialised/flattened
+    // versions, whose schedules launch many more kernels.
+    ThresholdEnv all_on;
+    all_on.default_threshold = 1;
+    const std::vector<ThresholdEnv> envs{all_on, ThresholdEnv{}};
+    for (const auto& dev : devices) {
+      for (int s = 0; s < n_seeds; ++s) {
+        for (size_t e = 0; e < envs.size(); ++e) {
+          // Mix the run identity into the seed: short schedules only ever
+          // consume the stream's first draws, so reusing seeds across
+          // benchmarks would sample the same handful of fault decisions
+          // everywhere.
+          const std::string id = b.name + "/" + dev.name + "#" +
+                                 std::to_string(e) + "#" + std::to_string(s);
+          soak_one(t, b, c, dev, want, inputs, spec, envs[e],
+                   journal_hash(id.data(), id.size()));
+        }
+      }
+      soak_tuning(t, b, c, dev, spec, 0xbeef + static_cast<uint64_t>(0));
+    }
+  }
+  std::cout << "soak: " << t.runs << " runs (" << t.faulted << " with faults, "
+            << t.degraded << " degraded, " << t.unrecoverable
+            << " unrecoverable-but-structured), spec " << fault_spec_str(spec)
+            << ", " << t.failures << " contract failure(s)\n";
+  return t.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace incflat
+
+int main(int argc, char** argv) {
+  const std::string spec = argc > 1 ? argv[1] : "all=0.01";
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 10;
+  try {
+    return incflat::soak(spec, seeds);
+  } catch (const std::exception& e) {
+    std::cerr << "soak: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
