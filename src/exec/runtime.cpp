@@ -267,6 +267,222 @@ RunOutcome run_with_faults(const DeviceProfile& dev, const KernelPlan& plan,
                   policy);
 }
 
+// ---------------------------------------------------------------------------
+// Tiered execution.
+
+TieredRuntime::TieredRuntime(const DeviceProfile& dev, const KernelPlan& plan,
+                             TierPolicy policy)
+    : dev_(dev),
+      plan_(plan),
+      policy_(policy),
+      prof_(profile::make_profile(plan, plan.program.name, dev.name)) {}
+
+bool TieredRuntime::seed_profile(profile::ExecProfile p) {
+  profile::check_profile(p, plan_);
+  if (p.device != dev_.name) return false;
+  prof_ = std::move(p);
+  return true;
+}
+
+const PlanDatasetCache& TieredRuntime::cache_for(const SizeEnv& sizes) {
+  if (!cache_ || !cache_sizes_ || *cache_sizes_ != sizes) {
+    cache_ = std::make_unique<PlanDatasetCache>(plan_, dev_, sizes);
+    cache_sizes_ = sizes;
+    dispatch_.reset();
+  }
+  return *cache_;
+}
+
+void TieredRuntime::invalidate() {
+  dispatch_.reset();
+  if (!spec_) return;
+  spec_.reset();
+  ++stats_.invalidations;
+  trace::count("spesh.invalidations");
+}
+
+void TieredRuntime::deopt(TieredOutcome& t, const std::string& why) {
+  t.deopted = true;
+  t.deopt_reason = why;
+  ++stats_.deopts;
+  stats_.last_deopt = why;
+  ++prof_.deopts;
+  // Re-specializing requires a fresh stability window: stale streaks from
+  // before the deopt must not immediately re-trigger the same speculation.
+  profile::reset_streaks(prof_);
+  invalidate();
+  trace::count("exec.deopts");
+}
+
+bool TieredRuntime::thresholds_match(const ThresholdEnv& thresholds) const {
+  for (const std::string& name : plan_.thresholds) {
+    if (spec_->thresholds.get(name) != thresholds.get(name)) return false;
+  }
+  return true;
+}
+
+bool TieredRuntime::run_specialized(TieredOutcome& t,
+                                    const ThresholdEnv& thresholds,
+                                    FaultPlan& faults, SpecAttempt* attempt) {
+  // The dispatch check already verified and precompiled this schedule.
+  const std::vector<LaunchInfo>& sched = dispatch_->schedule();
+  RunOutcome out;
+  out.thresholds = thresholds;
+  double wasted = 0;
+  double completed = 0;
+  for (const LaunchInfo& li : sched) {
+    bool persistent = false;
+    FaultKind kind = FaultKind::None;
+    int att = 0;
+    if (policy_.run.kernel_timeout_us > 0 &&
+        li.time_us > policy_.run.kernel_timeout_us) {
+      persistent = true;
+      kind = FaultKind::LaunchTimeout;
+      ++out.faults;
+      wasted += policy_.run.kernel_timeout_us;
+    }
+    while (!persistent) {
+      ++att;
+      kind = faults.next_launch();
+      if (kind == FaultKind::None) break;
+      ++out.faults;
+      wasted += attempt_cost(dev_, policy_.run, li, kind);
+      if (kind == FaultKind::LocalAllocFailed ||
+          att >= policy_.run.max_attempts) {
+        persistent = true;
+        break;
+      }
+      ++out.retries;
+      wasted += backoff_for(policy_.run, att);
+      out.events.push_back(FaultEvent{faults.launches() - 1, li.what, kind,
+                                      att, "retry", ""});
+    }
+    if (!persistent) {
+      completed += li.time_us;
+      continue;
+    }
+    // A persistent fault never degrades inside the specialized schedule —
+    // degradation changes guard decisions, exactly what the specialization
+    // froze.  Deoptimize: abandon the pass, let the tree tier (which owns
+    // degradation) redo the run from scratch.
+    wasted += completed;
+    out.events.push_back(FaultEvent{faults.launches() - 1, li.what, kind, att,
+                                    "deopt", ""});
+    deopt(t, "persistent fault (" + std::string(fault_kind_name(kind)) +
+                 ") in kernel '" + li.what + "' on the specialized tier");
+    attempt->wasted_us = wasted;
+    attempt->faults = out.faults;
+    attempt->retries = out.retries;
+    attempt->events = std::move(out.events);
+    return false;
+  }
+  out.ok = true;
+  out.estimate = dispatch_->estimate();
+  out.overhead_us = wasted;
+  out.time_us = out.estimate.time_us + wasted;
+  if (trace::enabled()) {
+    trace::count("exec.fault_runs");
+    trace::count("exec.faults", out.faults);
+    trace::count("exec.retries", out.retries);
+  }
+  t.run = std::move(out);
+  t.specialized = true;
+  return true;
+}
+
+TieredOutcome TieredRuntime::run(const SizeEnv& sizes,
+                                 const ThresholdEnv& thresholds,
+                                 FaultPlan& faults) {
+  TieredOutcome t;
+  if (plan_.legacy_fallback) {
+    t.run = run_with_faults(dev_, plan_, sizes, thresholds, faults,
+                            policy_.run);
+    ++stats_.tree_runs;
+    return t;
+  }
+
+  SpecAttempt attempt;
+  if (spec_) {
+    std::string why;
+    if (!thresholds_match(thresholds)) {
+      why = "threshold assignment no longer matches the frozen one";
+    } else {
+      const PlanDatasetCache& cache = cache_for(sizes);
+      if (!dispatch_) {
+        dispatch_ = std::make_unique<spesh::SpecDispatch>(plan_, *spec_, cache);
+      }
+      if (!dispatch_->pass()) {
+        const spesh::ShapeGuard* failed = dispatch_->failed();
+        why = failed ? "shape guard failed: " + failed->expr.str() +
+                           " not in " + failed->iv.str() + " [" + failed->why +
+                           "]"
+                     : "shape guard failed";
+      }
+    }
+    if (why.empty()) {
+      if (run_specialized(t, thresholds, faults, &attempt)) {
+        ++stats_.spec_runs;
+        trace::count("spesh.dispatches");
+        return t;
+      }
+      // Fell through: deoptimized mid-run; `attempt` carries the debris.
+    } else {
+      deopt(t, why);
+    }
+  }
+
+  RunOutcome out =
+      run_with_faults(dev_, plan_, sizes, thresholds, faults, policy_.run);
+  ++stats_.tree_runs;
+  // The abandoned specialized pass is part of this run's cost and report.
+  out.faults += attempt.faults;
+  out.retries += attempt.retries;
+  out.events.insert(out.events.begin(),
+                    std::make_move_iterator(attempt.events.begin()),
+                    std::make_move_iterator(attempt.events.end()));
+  out.overhead_us += attempt.wasted_us;
+  out.time_us += attempt.wasted_us;
+
+  if (!out.ok || out.degradations > 0) {
+    // A degraded run executed different code versions than the nominal
+    // assignment selects: its decisions must not feed speculation, and any
+    // standing speculation is no longer trustworthy.
+    invalidate();
+    profile::reset_streaks(prof_);
+  } else if (policy_.profile) {
+    profile::record_run(prof_, plan_, cache_for(sizes), thresholds);
+    if (policy_.specialize && !spec_) {
+      spesh::SpecializeOptions so;
+      so.hot_runs = policy_.hot_runs;
+      spesh::SpecializeResult res =
+          spesh::specialize_plan(plan_, prof_, thresholds, dev_, so);
+      if (res.ok) {
+        spec_ = std::move(res.plan);
+        dispatch_.reset();
+        ++stats_.specializations;
+      }
+    }
+  }
+  t.run = std::move(out);
+  return t;
+}
+
+std::string TieredRuntime::deopt_stats() const {
+  std::ostringstream os;
+  os << "tiers: " << stats_.tree_runs << " tree run(s), " << stats_.spec_runs
+     << " specialized, " << stats_.specializations << " specialization(s), "
+     << stats_.deopts << " deopt(s), " << stats_.invalidations
+     << " invalidation(s)";
+  if (!stats_.last_deopt.empty()) {
+    os << "\nlast deopt: " << stats_.last_deopt;
+  }
+  if (spec_) {
+    os << "\n" << spec_->str();
+  }
+  os << "\n" << prof_.str();
+  return os.str();
+}
+
 std::string outcome_str(const RunOutcome& o) {
   std::ostringstream os;
   if (o.ok) {

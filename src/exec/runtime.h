@@ -25,14 +25,27 @@
 // it computes (the paper's semantics-preservation property), so a degraded
 // run is value-identical to the fault-free one — execute the outcome's
 // effective thresholds to check against the interpreter oracle.
+// Tiered execution (TieredRuntime, at the bottom of this header) stacks a
+// speculative tier on top: successful non-degraded runs feed an execution
+// profile (src/profile/), stable guard streaks trigger specialization
+// (src/plan/specialize.h), and subsequent runs whose shape guards pass
+// replay the straight-line specialized schedule instead of descending the
+// tree.  Any crack in the speculation — shape drift, a changed threshold
+// assignment, a persistent fault mid-specialized-run, a fault degradation —
+// *deoptimizes*: the specialized plan is invalidated, decision streaks are
+// reset (re-specializing requires a fresh stability window), and the run
+// restarts on the tree tier, which remains the sole authority for
+// correctness.  Specialization off = bit-identical to the plain runtime.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/exec/exec.h"
 #include "src/gpusim/faults.h"
+#include "src/plan/specialize.h"
 #include "src/support/diag.h"
 
 namespace incflat {
@@ -111,5 +124,103 @@ RunOutcome run_with_faults(const DeviceProfile& dev, const KernelPlan& plan,
 
 /// One-line human-readable outcome summary.
 std::string outcome_str(const RunOutcome& o);
+
+// ---------------------------------------------------------------------------
+// Tiered execution.
+
+/// Knobs of the tiered runtime.
+struct TierPolicy {
+  /// Record guard decisions of successful, non-degraded tree runs.
+  bool profile = true;
+  /// Attempt specialization once a full stability window has been profiled
+  /// (implies profiling is useful; with profile=false nothing ever
+  /// stabilizes and the tree tier runs forever — the compatibility mode).
+  bool specialize = true;
+  /// Consecutive identical decisions every reachable guard needs before the
+  /// plan may specialize — and, after a deoptimization, needs *again*
+  /// (streaks reset on every deopt, damping specialize/deopt thrash).
+  int64_t hot_runs = 8;
+  /// Fault policy for both tiers.
+  RunPolicy run;
+};
+
+/// Lifetime tallies of one TieredRuntime.
+struct TierStats {
+  int64_t tree_runs = 0;        // runs executed by tree descent
+  int64_t spec_runs = 0;        // runs executed by the specialized schedule
+  int64_t specializations = 0;  // specialized plans built
+  int64_t deopts = 0;           // deoptimizations (any reason)
+  int64_t invalidations = 0;    // specialized plans discarded
+  std::string last_deopt;       // reason of the most recent deopt
+};
+
+/// One tiered run: the underlying outcome plus which tier produced it.
+struct TieredOutcome {
+  RunOutcome run;
+  bool specialized = false;  // the specialized schedule ran to completion
+  bool deopted = false;      // this run deoptimized (reason below)
+  std::string deopt_reason;
+};
+
+/// Profile-guided two-tier executor for one plan on one device.  Not
+/// thread-safe; holds a reference to the plan (caller keeps it alive).
+class TieredRuntime {
+ public:
+  TieredRuntime(const DeviceProfile& dev, const KernelPlan& plan,
+                TierPolicy policy = {});
+
+  /// Execute one dataset.  Dispatches to the specialized schedule when one
+  /// exists and covers (thresholds match, shape guards pass); otherwise —
+  /// or after a mid-run deoptimization — runs the guard tree with full
+  /// fault degradation.  Estimates are bit-identical across tiers.
+  TieredOutcome run(const SizeEnv& sizes, const ThresholdEnv& thresholds,
+                    FaultPlan& faults);
+
+  /// Adopt a persisted profile (validated against the plan; throws IoError
+  /// on mismatch).  Returns false — keeping a fresh profile — when the
+  /// profile was recorded on a different device, whose guard decisions
+  /// (workgroup-fit in particular) do not transfer.
+  bool seed_profile(profile::ExecProfile p);
+
+  const profile::ExecProfile& prof() const { return prof_; }
+  /// The live specialized plan, or nullptr while on the tree tier.
+  const spesh::SpecializedPlan* specialized() const {
+    return spec_ ? &*spec_ : nullptr;
+  }
+  const TierStats& stats() const { return stats_; }
+
+  /// Human-readable tier/deopt report (incflatc --deopt-stats).
+  std::string deopt_stats() const;
+
+ private:
+  const PlanDatasetCache& cache_for(const SizeEnv& sizes);
+  void invalidate();
+  void deopt(TieredOutcome& t, const std::string& why);
+  bool thresholds_match(const ThresholdEnv& thresholds) const;
+  /// Runs the specialized schedule; false = persistent fault (already
+  /// deoptimized; partial-run accounting is left in *attempt for the tree
+  /// rerun to absorb).
+  struct SpecAttempt {
+    double wasted_us = 0;
+    int faults = 0;
+    int retries = 0;
+    std::vector<FaultEvent> events;
+  };
+  bool run_specialized(TieredOutcome& t, const ThresholdEnv& thresholds,
+                       FaultPlan& faults, SpecAttempt* attempt);
+
+  DeviceProfile dev_;
+  const KernelPlan& plan_;
+  TierPolicy policy_;
+  profile::ExecProfile prof_;
+  std::optional<spesh::SpecializedPlan> spec_;
+  TierStats stats_;
+  // Single-entry dataset cache: steady-state streams reuse one shape.
+  std::optional<SizeEnv> cache_sizes_;
+  std::unique_ptr<PlanDatasetCache> cache_;
+  // Dispatch state for (spec_, cache_): verdict + precompiled schedule,
+  // rebuilt only when the shape or the specialization changes.
+  std::unique_ptr<spesh::SpecDispatch> dispatch_;
+};
 
 }  // namespace incflat

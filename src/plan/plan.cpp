@@ -59,6 +59,11 @@ const PlanDatasetCache::PricedKernel& PlanDatasetCache::kernel(int k) const {
   return pk;
 }
 
+PlanDatasetCache::GuardObs PlanDatasetCache::guard_obs(int guard_ix) const {
+  const GuardVals& gv = guards_[static_cast<size_t>(guard_ix)];
+  return GuardObs{gv.par, gv.fit_fail, gv.error};
+}
+
 bool PlanDatasetCache::guard_taken(int guard_ix, int64_t threshold_value) const {
   const GuardVals& gv = guards_[static_cast<size_t>(guard_ix)];
   if (gv.error) {

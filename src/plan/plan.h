@@ -142,6 +142,18 @@ class PlanDatasetCache {
   /// guard_taken: fit failure wins, else par >= threshold.
   bool guard_taken(int guard_ix, int64_t threshold_value) const;
 
+  /// Raw observed guard operands for this dataset (the profile layer
+  /// records them): the evaluated Par value (0 when it could not be
+  /// evaluated — Par values are always >= 1 otherwise) and whether the
+  /// workgroup-fit bound failed.  `error` mirrors guard_taken's
+  /// unbound-variable condition.
+  struct GuardObs {
+    int64_t par = 0;
+    bool fit_fail = false;
+    bool error = false;
+  };
+  GuardObs guard_obs(int guard_ix) const;
+
   /// The evaluated arena (loop trip counts live here alongside kernel work).
   const CostValues& values() const { return values_; }
 

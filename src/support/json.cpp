@@ -179,8 +179,9 @@ struct Parser {
   size_t pos = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json parse error at offset " +
-                             std::to_string(pos) + ": " + what);
+    throw JsonParseError("json parse error at offset " +
+                             std::to_string(pos) + ": " + what,
+                         pos);
   }
 
   void skip_ws() {
@@ -371,6 +372,21 @@ Json Json::parse(const std::string& text) {
   p.skip_ws();
   if (p.pos != text.size()) p.fail("trailing garbage after document");
   return v;
+}
+
+std::string json_error_position(const std::string& text, size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  size_t line = 1;
+  size_t col = 1;
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return "line " + std::to_string(line) + ", column " + std::to_string(col);
 }
 
 }  // namespace incflat

@@ -140,6 +140,15 @@ std::map<std::string, int64_t> counters() {
   return {s.counters.begin(), s.counters.end()};
 }
 
+std::vector<std::string> counter_namespaces() {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : counters()) {
+    const std::string ns = name.substr(0, name.find('.'));
+    if (out.empty() || out.back() != ns) out.push_back(ns);
+  }
+  return out;
+}
+
 std::string chrome_json() {
   State& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
@@ -206,6 +215,9 @@ void print_summary(std::ostream& os) {
       t.row({name, std::to_string(value)});
     }
     t.print(os);
+    os << "namespaces:";
+    for (const std::string& ns : counter_namespaces()) os << " " << ns;
+    os << "\n";
   }
   if (spans.empty() && counts.empty()) {
     os << "trace: nothing recorded (tracing disabled?)\n";

@@ -72,6 +72,12 @@ std::vector<SpanStat> span_stats();
 /// Snapshot of all counters and gauges (gauges carry their last value).
 std::map<std::string, int64_t> counters();
 
+/// Sorted distinct `<namespace>.` prefixes of every recorded counter and
+/// gauge — the layers that emitted telemetry this run (analysis, exec,
+/// flatten, plan, pool, profile, spesh, tuner, ...).  Names without a dot
+/// form their own namespace.
+std::vector<std::string> counter_namespaces();
+
 /// Chrome trace-event JSON for everything recorded so far.
 std::string chrome_json();
 

@@ -1,0 +1,267 @@
+// The execution-profile layer (src/profile/): per-guard decision tallies,
+// Par ranges and streaks recorded off real plan descents; JSON persistence
+// with the strict parser's line/column errors and atomic tmp+rename saves;
+// and the profile/plan validation that rejects stale files.  The round-trip
+// property test randomizes whole profiles — save -> load must be `==`.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/exec/exec.h"
+#include "src/gpusim/device.h"
+#include "src/plan/plan.h"
+#include "src/profile/profile.h"
+#include "src/support/error.h"
+#include "src/support/rng.h"
+
+namespace incflat {
+namespace {
+
+using profile::ExecProfile;
+using profile::GuardProfile;
+
+/// A randomized but internally consistent profile (par range ordered,
+/// streaks no longer than the run count).
+ExecProfile random_profile(Rng& rng) {
+  ExecProfile p;
+  p.program = "prog" + std::to_string(rng.uniform_int(0, 99));
+  p.device = rng.flip(0.5) ? "k40" : "vega64";
+  p.runs = rng.uniform_int(0, 1000);
+  p.deopts = rng.uniform_int(0, 50);
+  const int n = static_cast<int>(rng.uniform_int(0, 6));
+  for (int i = 0; i < n; ++i) {
+    GuardProfile g;
+    g.threshold = "t" + std::to_string(i);
+    g.taken = rng.uniform_int(0, 500);
+    g.not_taken = rng.uniform_int(0, 500);
+    g.fit_fails = rng.uniform_int(0, g.not_taken);
+    g.par_seen = rng.flip(0.7);
+    if (g.par_seen) {
+      g.par_lo = rng.uniform_int(1, 1 << 20);
+      g.par_hi = rng.uniform_int(g.par_lo, 1 << 21);
+    }
+    g.streak = rng.uniform_int(0, g.taken + g.not_taken);
+    g.streak_taken = rng.flip(0.5);
+    g.last_fit_fail = rng.flip(0.2);
+    p.guards.push_back(g);
+  }
+  return p;
+}
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + "incflat_profile_" + stem + ".json";
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip property
+// ---------------------------------------------------------------------------
+
+TEST(ProfileJson, RandomizedProfilesRoundTripThroughSaveAndLoad) {
+  Rng rng(0x9f0f11e5);
+  for (int it = 0; it < 200; ++it) {
+    const ExecProfile p = random_profile(rng);
+    // In-memory: to_json -> serialize -> parse -> from_json.
+    const ExecProfile q =
+        ExecProfile::from_json(Json::parse(p.to_json().str()));
+    EXPECT_TRUE(p == q) << "iteration " << it;
+    // On disk: atomic save -> strict load.
+    const std::string path = temp_path("roundtrip");
+    profile::save_profile(path, p);
+    const ExecProfile r = profile::load_profile(path);
+    EXPECT_TRUE(p == r) << "iteration " << it;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ProfileJson, SaveIsAtomicAndLeavesNoTempFile) {
+  Rng rng(0x5eed);
+  const ExecProfile p = random_profile(rng);
+  const std::string path = temp_path("atomic");
+  profile::save_profile(path, p);
+  // Overwriting an existing file also goes through tmp+rename.
+  profile::save_profile(path, p);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+      << "temporary file survived the rename";
+  EXPECT_TRUE(profile::load_profile(path) == p);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileJson, MalformedJsonReportsLineAndColumn) {
+  const std::string path = temp_path("malformed");
+  {
+    std::ofstream f(path);
+    f << "{\n  \"format\": \"incflat-profile\",\n  oops\n}\n";
+  }
+  try {
+    profile::load_profile(path);
+    FAIL() << "malformed profile loaded";
+  } catch (const IoError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
+}
+
+/// Replace the first occurrence of `from` (must exist) with `to`.
+std::string patched(std::string text, const std::string& from,
+                    const std::string& to) {
+  const size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  return text.replace(pos, from.size(), to);
+}
+
+TEST(ProfileJson, SchemaViolationsAreRejected) {
+  ExecProfile p;
+  p.program = "x";
+  p.device = "k40";
+  p.runs = 7;
+  GuardProfile g;
+  g.threshold = "t";
+  g.taken = 41;
+  g.not_taken = 5;
+  g.par_seen = true;
+  g.par_lo = 1017;
+  g.par_hi = 2033;
+  p.guards.push_back(g);
+  const std::string good = p.to_json().str();
+  // The pristine document parses.
+  EXPECT_TRUE(ExecProfile::from_json(Json::parse(good)) == p);
+
+  // Negative tally.
+  EXPECT_THROW(ExecProfile::from_json(Json::parse(
+                   patched(good, "\"taken\": 41", "\"taken\": -1"))),
+               IoError);
+  // Inverted Par range.
+  EXPECT_THROW(ExecProfile::from_json(Json::parse(
+                   patched(good, "\"par_lo\": 1017", "\"par_lo\": 3000"))),
+               IoError);
+  // Non-numeric tally.
+  EXPECT_THROW(ExecProfile::from_json(Json::parse(
+                   patched(good, "\"taken\": 41", "\"taken\": \"many\""))),
+               IoError);
+  // Wrong format marker and unsupported version.
+  EXPECT_THROW(ExecProfile::from_json(
+                   Json::parse(patched(good, "incflat-profile", "tuning"))),
+               IoError);
+  EXPECT_THROW(ExecProfile::from_json(Json::parse(
+                   patched(good, "\"version\": 1", "\"version\": 99"))),
+               IoError);
+}
+
+TEST(ProfileJson, MissingFileThrowsIoError) {
+  EXPECT_THROW(profile::load_profile(temp_path("does_not_exist")), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+TEST(ProfileRecord, TalliesAndStreaksFollowTheDescent) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const KernelPlan& plan = *c.plan;
+  const DeviceProfile dev = device_k40();
+  const SizeEnv sizes = b.datasets.at(0).sizes;
+  const PlanDatasetCache cache(plan, dev, sizes);
+
+  ExecProfile p = profile::make_profile(plan, plan.program.name, dev.name);
+  ASSERT_EQ(p.guards.size(), plan.guards.size());
+  EXPECT_EQ(p.runs, 0);
+  for (const auto& g : p.guards) EXPECT_FALSE(g.reached());
+
+  // The same stable descent, five times: every reached guard's streak is 5
+  // and the tallies are all on one side.
+  const ThresholdEnv thr;  // paper default
+  for (int i = 0; i < 5; ++i) profile::record_run(p, plan, cache, thr);
+  EXPECT_EQ(p.runs, 5);
+  bool any_reached = false;
+  for (const auto& g : p.guards) {
+    if (!g.reached()) continue;
+    any_reached = true;
+    EXPECT_EQ(g.streak, 5) << g.threshold;
+    EXPECT_EQ(g.taken + g.not_taken, 5) << g.threshold;
+    EXPECT_TRUE(g.taken == 0 || g.not_taken == 0) << g.threshold;
+    EXPECT_EQ(g.streak_taken, g.taken > 0) << g.threshold;
+  }
+  ASSERT_TRUE(any_reached) << "no guard reached on the D1 descent";
+
+  // The estimate evaluates exactly the guards record_run visits: reached
+  // guards and the estimate's guard list must agree.
+  const RunEstimate est = plan_estimate(plan, cache, thr);
+  for (const auto& [name, taken] : est.guards) {
+    bool found = false;
+    for (const auto& g : p.guards) {
+      found = found || (g.threshold == name && g.reached());
+    }
+    EXPECT_TRUE(found) << "estimate guard " << name << " not recorded";
+  }
+
+  // Flipping every guard (threshold 2^62 = never taken) breaks the streak:
+  // it restarts at 1 with the opposite decision.
+  ThresholdEnv all_off;
+  all_off.default_threshold = int64_t{1} << 62;
+  profile::record_run(p, plan, cache, all_off);
+  for (const auto& g : p.guards) {
+    if (!g.reached() || g.taken == 0) continue;
+    EXPECT_EQ(g.streak, 1) << g.threshold;
+    EXPECT_FALSE(g.streak_taken) << g.threshold;
+  }
+
+  // reset_streaks clears streaks but keeps tallies.
+  profile::reset_streaks(p);
+  for (const auto& g : p.guards) {
+    EXPECT_EQ(g.streak, 0) << g.threshold;
+  }
+  EXPECT_EQ(p.runs, 6);
+}
+
+TEST(ProfileRecord, ParRangeCoversObservedOperands) {
+  const Benchmark b = bench_matmul();
+  const Compiled c = compile(b.program, FlattenMode::Incremental);
+  const KernelPlan& plan = *c.plan;
+  const DeviceProfile dev = device_k40();
+
+  ExecProfile p = profile::make_profile(plan, plan.program.name, dev.name);
+  // Two differently sized datasets widen the observed range.
+  for (const auto& d : b.datasets) {
+    const PlanDatasetCache cache(plan, dev, d.sizes);
+    profile::record_run(p, plan, cache, ThresholdEnv{});
+  }
+  for (const auto& g : p.guards) {
+    if (!g.par_seen) continue;
+    EXPECT_GE(g.par_lo, 1) << g.threshold;
+    EXPECT_LE(g.par_lo, g.par_hi) << g.threshold;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan validation
+// ---------------------------------------------------------------------------
+
+TEST(ProfileCheck, RejectsProfilesFromAnotherPlan) {
+  const Compiled mm = compile(bench_matmul().program, FlattenMode::Incremental);
+  const KernelPlan& plan = *mm.plan;
+  ASSERT_FALSE(plan.guards.empty());
+
+  ExecProfile p = profile::make_profile(plan, "matmul", "k40");
+  EXPECT_NO_THROW(profile::check_profile(p, plan));
+
+  // Same guard count but a renamed threshold: stale file.
+  ExecProfile renamed = p;
+  renamed.guards[0].threshold += "_renamed";
+  EXPECT_THROW(profile::check_profile(renamed, plan), IoError);
+
+  // Guard count mismatch: profile from another program (or plan version).
+  ExecProfile extra = p;
+  extra.guards.push_back(GuardProfile{});
+  EXPECT_THROW(profile::check_profile(extra, plan), IoError);
+}
+
+}  // namespace
+}  // namespace incflat
