@@ -1,6 +1,12 @@
 #include "src/autotune/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "src/support/error.h"
 
@@ -84,6 +90,20 @@ bool parse_meta(const std::string& line, JournalMeta* m) {
   return true;
 }
 
+/// One full write(2) of `line`.  The fd is O_APPEND, so as long as the line
+/// goes out in a single call the kernel serialises it against every other
+/// appender; a short write (out of space) is a hard error — retrying the
+/// tail would interleave with other writers, the exact tear this layer
+/// exists to prevent.
+void write_line(int fd, const std::string& line, const std::string& path) {
+  for (;;) {
+    const ssize_t w = ::write(fd, line.data(), line.size());
+    if (w == static_cast<ssize_t>(line.size())) return;
+    if (w < 0 && errno == EINTR) continue;
+    throw IoError("tuning journal write failed: " + path);
+  }
+}
+
 }  // namespace
 
 bool JournalMeta::operator==(const JournalMeta& o) const {
@@ -163,25 +183,43 @@ TuneJournal TuneJournal::open(const std::string& path,
 
   TuneJournal j;
   j.path_ = path;
-  j.out_.open(path, resume ? (std::ios::out | std::ios::app)
-                           : (std::ios::out | std::ios::trunc));
-  if (!j.out_) {
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | (resume ? 0 : O_TRUNC);
+  j.fd_ = ::open(path.c_str(), flags, 0644);
+  if (j.fd_ < 0) {
     throw IoError("cannot write tuning journal: " + path);
   }
   if (!resume) {
-    j.out_ << kMagic << "\n" << meta_line(meta) << "\n";
-    j.out_.flush();
-    if (!j.out_) throw IoError("tuning journal write failed: " + path);
+    const std::string header =
+        std::string(kMagic) + "\n" + meta_line(meta) + "\n";
+    write_line(j.fd_, header, path);
   }
   return j;
+}
+
+TuneJournal::TuneJournal(TuneJournal&& o) noexcept
+    : path_(std::move(o.path_)), fd_(o.fd_) {
+  o.fd_ = -1;
+}
+
+TuneJournal& TuneJournal::operator=(TuneJournal&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(o.path_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+TuneJournal::~TuneJournal() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 void TuneJournal::append(const JournalEntry& e) {
   std::ostringstream os;
   os << "E " << hex(e.key_hash) << " " << hex(e.cost_bits) << "\n";
-  out_ << os.str();
-  out_.flush();
-  if (!out_) throw IoError("tuning journal write failed: " + path_);
+  write_line(fd_, os.str(), path_);
 }
 
 }  // namespace incflat

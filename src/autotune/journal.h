@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -67,10 +66,26 @@ class TuneJournal {
   /// header; resume=true requires an existing journal whose header matches
   /// `meta` (IoError otherwise) and fills `replay` with the recorded
   /// evaluations, dropping a crash-truncated final line.
+  ///
+  /// The file is opened O_APPEND and every line is issued as ONE write(2):
+  /// POSIX makes O_APPEND writes atomic with respect to the file offset, so
+  /// concurrent appenders (two tuner processes sharing a journal path, the
+  /// daemon journaling from several workers) interleave only at line
+  /// granularity — never mid-line.  A buffered stream cannot promise that:
+  /// a line straddling the stream's buffer boundary flushes as two writes,
+  /// and the gap is exactly where another process's line lands, tearing
+  /// both.
   static TuneJournal open(const std::string& path, const JournalMeta& meta,
                           bool resume, std::vector<JournalEntry>* replay);
 
-  /// Append one evaluation: a single flushed write.  Throws IoError when
+  TuneJournal() = default;
+  TuneJournal(TuneJournal&& o) noexcept;
+  TuneJournal& operator=(TuneJournal&& o) noexcept;
+  ~TuneJournal();
+  TuneJournal(const TuneJournal&) = delete;
+  TuneJournal& operator=(const TuneJournal&) = delete;
+
+  /// Append one evaluation: a single O_APPEND write.  Throws IoError when
   /// the write fails.
   void append(const JournalEntry& e);
 
@@ -78,7 +93,7 @@ class TuneJournal {
 
  private:
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;  // O_APPEND; -1 when default-constructed or moved-from
 };
 
 }  // namespace incflat

@@ -1,0 +1,477 @@
+#include "src/serve/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/support/error.h"
+
+namespace incflat::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    sys_fail("fcntl(O_NONBLOCK)");
+}
+
+void write_fully(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("write");
+    }
+    off += static_cast<size_t>(w);
+  }
+}
+
+int connect_endpoint(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::Unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw IoError("unix socket path too long: " + ep.path);
+    }
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      sys_fail("connect(" + ep.path + ")");
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError("bad tcp host (numeric IPv4 required): " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("connect(" + host + ":" + std::to_string(ep.port) + ")");
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::Unix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty())
+      throw IoError("empty unix socket path in '" + spec + "'");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::Tcp;
+    std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon != std::string::npos) {
+      ep.host = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    }
+    try {
+      const int port = std::stoi(rest);
+      if (port < 0 || port > 65535) throw std::out_of_range("port");
+      ep.port = static_cast<uint16_t>(port);
+    } catch (const std::exception&) {
+      throw IoError("bad tcp port in '" + spec + "'");
+    }
+    return ep;
+  }
+  throw IoError("endpoint must be unix:PATH or tcp:[HOST:]PORT, got '" +
+                spec + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+
+namespace {
+
+/// Completion queue + self-pipe wakeup, shared (shared_ptr) between the
+/// poll loop and every scheduler job.  It is a separate allocation on
+/// purpose: a job can still be running when the socket front-end is torn
+/// down, and its completion must land somewhere valid — the last owner
+/// (possibly a scheduler worker) frees it.
+struct DoneQueue {
+  int wake_r = -1, wake_w = -1;
+  std::mutex mu;
+  std::deque<std::tuple<uint64_t, uint64_t, std::string>> q;
+
+  DoneQueue() {
+    int pipefd[2];
+    if (::pipe(pipefd) < 0) sys_fail("pipe");
+    wake_r = pipefd[0];
+    wake_w = pipefd[1];
+    set_nonblocking(wake_r);
+    set_nonblocking(wake_w);
+  }
+  ~DoneQueue() {
+    ::close(wake_r);
+    ::close(wake_w);
+  }
+
+  void wake() {
+    const char b = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t r = ::write(wake_w, &b, 1);
+  }
+
+  void push(uint64_t conn_id, uint64_t seq, std::string payload) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      q.emplace_back(conn_id, seq, std::move(payload));
+    }
+    wake();
+  }
+};
+
+}  // namespace
+
+struct ServeSocket::Impl {
+  ServerCore& core;
+  Endpoint ep;
+  int listen_fd = -1;
+  std::shared_ptr<DoneQueue> dq = std::make_shared<DoneQueue>();
+  std::atomic<bool> stop{false};
+
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    uint64_t next_seq = 0;   // next request sequence number to assign
+    uint64_t next_write = 0; // next sequence number to write out
+    std::map<uint64_t, std::string> ready;  // out-of-order completions
+    uint64_t inflight = 0;
+    bool closing = false;         // flush outbuf, then close
+    bool shutdown_after = false;  // stop the loop once flushed
+  };
+  uint64_t next_conn_id = 1;
+  std::map<uint64_t, std::shared_ptr<Conn>> conns;
+
+  explicit Impl(ServerCore& c, Endpoint e) : core(c), ep(std::move(e)) {}
+
+  ~Impl() {
+    for (auto& [id, conn] : conns)
+      if (conn->fd >= 0) ::close(conn->fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (ep.kind == Endpoint::Kind::Unix) ::unlink(ep.path.c_str());
+  }
+
+  void enqueue_response(Conn& c, const std::string& payload) {
+    c.outbuf += encode_frame(payload);
+  }
+
+  /// Move in-order completions from `ready` into the write buffer.
+  void drain_ready(Conn& c) {
+    for (auto it = c.ready.find(c.next_write); it != c.ready.end();
+         it = c.ready.find(c.next_write)) {
+      enqueue_response(c, it->second);
+      c.ready.erase(it);
+      ++c.next_write;
+      --c.inflight;
+    }
+  }
+
+  void flush(uint64_t id, Conn& c) {
+    while (!c.outbuf.empty()) {
+      const ssize_t w = ::write(c.fd, c.outbuf.data(), c.outbuf.size());
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        close_conn(id);  // peer vanished mid-response
+        return;
+      }
+      c.outbuf.erase(0, static_cast<size_t>(w));
+    }
+    // Close only once everything owed has been written: responses still in
+    // flight (queued or waiting for in-order drain) count as owed, so a
+    // shutdown acked via the done queue is flushed before the fd closes.
+    if (c.outbuf.empty() && c.closing && c.inflight == 0) {
+      if (c.shutdown_after) stop.store(true);
+      close_conn(id);
+    }
+  }
+
+  void close_conn(uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    if (it->second->fd >= 0) ::close(it->second->fd);
+    it->second->fd = -1;
+    conns.erase(it);
+  }
+
+  void handle_payload(uint64_t id, const std::shared_ptr<Conn>& conn,
+                      const std::string& payload) {
+    const uint64_t seq = conn->next_seq++;
+    ++conn->inflight;
+    Json req;
+    try {
+      req = Json::parse(payload);
+    } catch (const JsonParseError& e) {
+      // Malformed JSON fails this one request; framing is still intact.
+      dq->push(id, seq,
+               error_response(code::kBadRequest,
+                              std::string("malformed request json: ") +
+                                  e.what())
+                   .str(-1));
+      return;
+    }
+    std::string op;
+    if (req.is_object()) {
+      if (const Json* opv = req.find("op"); opv && opv->is_string())
+        op = opv->as_string();
+    }
+    if (op == "shutdown" || op == "ping") {
+      // Cheap control ops answer inline on the loop thread — shutdown must
+      // not sit in a queue behind the very work it is trying to stop.
+      Json resp = core.handle(req);
+      dq->push(id, seq, resp.str(-1));
+      if (op == "shutdown") {
+        conn->closing = true;
+        conn->shutdown_after = true;
+      }
+      return;
+    }
+    const JobPriority pri = ServerCore::priority_for(op);
+    const double timeout = pri == JobPriority::Low
+                               ? core.options().tune_queue_timeout_ms
+                               : 0;
+    // Jobs capture the shared queue and the core — never Impl, which a
+    // still-running job may outlive.  The drop hook substitutes a timeout /
+    // cancelled response so the connection's in-order writer never stalls
+    // on a job that was expired out of the queue.
+    std::shared_ptr<DoneQueue> q = dq;
+    ServerCore* corep = &core;
+    Json req_copy = std::move(req);
+    core.scheduler().submit(
+        [q, corep, id, seq, req_copy](JobContext&) {
+          q->push(id, seq, corep->handle(req_copy).str(-1));
+        },
+        pri, timeout, [q, id, seq](JobState st) {
+          const char* c =
+              st == JobState::Expired ? code::kTimeout : code::kCancelled;
+          q->push(id, seq,
+                  error_response(c, std::string("request ") + job_state_name(st) +
+                                        " before execution")
+                      .str(-1));
+        });
+  }
+
+  void on_readable(uint64_t id, const std::shared_ptr<Conn>& conn) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(id);
+        return;
+      }
+      if (n == 0) {  // peer closed; flush what we owe, then drop
+        conn->closing = true;
+        if (conn->outbuf.empty() && conn->inflight == 0) close_conn(id);
+        return;
+      }
+      try {
+        conn->reader.feed(buf, static_cast<size_t>(n));
+      } catch (const ProtocolError& e) {
+        // Framing is poisoned: answer once, then close after the flush.
+        enqueue_response(*conn,
+                         error_response(code::kProtocol, e.what()).str(-1));
+        conn->closing = true;
+        flush(id, *conn);
+        return;
+      }
+      std::string payload;
+      while (conn->reader.next(&payload)) handle_payload(id, conn, payload);
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+    }
+    flush(id, *conn);
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept failure: back to poll
+      }
+      set_nonblocking(fd);
+      if (ep.kind == Endpoint::Kind::Tcp) {
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conns.emplace(next_conn_id++, std::move(conn));
+    }
+  }
+
+  void drain_done() {
+    std::deque<std::tuple<uint64_t, uint64_t, std::string>> batch;
+    {
+      std::lock_guard<std::mutex> lk(dq->mu);
+      batch.swap(dq->q);
+    }
+    for (auto& [conn_id, seq, payload] : batch) {
+      auto it = conns.find(conn_id);
+      if (it == conns.end()) continue;  // connection already went away
+      Conn& c = *it->second;
+      c.ready.emplace(seq, std::move(payload));
+      drain_ready(c);
+      flush(conn_id, c);
+    }
+  }
+
+  void loop() {
+    std::vector<pollfd> pfds;
+    std::vector<uint64_t> ids;
+    while (!stop.load()) {
+      pfds.clear();
+      ids.clear();
+      pfds.push_back({listen_fd, POLLIN, 0});
+      pfds.push_back({dq->wake_r, POLLIN, 0});
+      for (auto& [id, conn] : conns) {
+        short ev = POLLIN;
+        if (!conn->outbuf.empty()) ev |= POLLOUT;
+        pfds.push_back({conn->fd, ev, 0});
+        ids.push_back(id);
+      }
+      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        sys_fail("poll");
+      }
+      if (pfds[1].revents & POLLIN) {
+        char buf[256];
+        while (::read(dq->wake_r, buf, sizeof(buf)) > 0) {
+        }
+      }
+      drain_done();
+      if (pfds[0].revents & POLLIN) accept_ready();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const pollfd& p = pfds[i + 2];
+        auto it = conns.find(ids[i]);
+        if (it == conns.end()) continue;
+        std::shared_ptr<Conn> conn = it->second;
+        if (p.revents & (POLLERR | POLLNVAL)) {
+          close_conn(ids[i]);
+          continue;
+        }
+        if (p.revents & POLLOUT) flush(ids[i], *conn);
+        if (conns.count(ids[i]) && (p.revents & (POLLIN | POLLHUP)))
+          on_readable(ids[i], conn);
+      }
+    }
+  }
+};
+
+ServeSocket::ServeSocket(ServerCore& core, const Endpoint& ep)
+    : impl_(std::make_unique<Impl>(core, ep)) {
+  if (ep.kind == Endpoint::Kind::Unix) {
+    ::unlink(ep.path.c_str());
+    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) sys_fail("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path))
+      throw IoError("unix socket path too long: " + ep.path);
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      sys_fail("bind(" + ep.path + ")");
+  } else {
+    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) sys_fail("socket(AF_INET)");
+    const int one = 1;
+    setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+      throw IoError("bad tcp host (numeric IPv4 required): " + host);
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      sys_fail("bind(port " + std::to_string(ep.port) + ")");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0)
+      bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(impl_->listen_fd, 64) < 0) sys_fail("listen");
+  set_nonblocking(impl_->listen_fd);
+}
+
+ServeSocket::~ServeSocket() = default;
+
+void ServeSocket::serve_forever() { impl_->loop(); }
+
+void ServeSocket::stop() {
+  impl_->stop.store(true);
+  impl_->dq->wake();
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+
+ServeClient::ServeClient(const Endpoint& ep) : fd_(connect_endpoint(ep)) {}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string ServeClient::call_text(const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  write_fully(fd_, frame.data(), frame.size());
+  std::string resp;
+  while (!reader_.next(&resp)) {
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("read");
+    }
+    if (n == 0) throw IoError("server closed connection mid-response");
+    reader_.feed(buf, static_cast<size_t>(n));
+  }
+  return resp;
+}
+
+Json ServeClient::call(const Json& request) {
+  return Json::parse(call_text(request.str(-1)));
+}
+
+}  // namespace incflat::serve

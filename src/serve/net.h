@@ -1,0 +1,90 @@
+// Socket front-end of the compile-and-serve daemon.
+//
+// ServeSocket wraps one listening endpoint — a Unix-domain socket path
+// ("unix:/tmp/incflatd.sock") or a TCP loopback port ("tcp:127.0.0.1:7465",
+// host optional) — and pumps a poll(2) event loop: accept connections, slice
+// the byte stream into frames (serve::FrameReader), hand each payload to
+// ServerCore through the JobScheduler at the op's priority class, and write
+// back length-prefixed responses in request order per connection.
+//
+// Threading: the poll loop runs on the caller of serve_forever(); request
+// execution runs on the scheduler's workers.  Responses are handed back to
+// the loop through a completion queue + self-pipe wakeup (the standard trick
+// for unblocking poll() from another thread).  A connection that sends a
+// malformed frame (oversized or garbled length prefix) is answered with one
+// "protocol" error and closed — the stream offset can no longer be trusted;
+// a frame that is merely malformed JSON fails only that request.
+//
+// The "shutdown" op stops the loop after its response drains, so tests and
+// the CI smoke job can wind the daemon down cleanly from a client.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/serve/server.h"
+
+namespace incflat::serve {
+
+/// A parsed endpoint spec.
+struct Endpoint {
+  enum class Kind { Unix, Tcp } kind = Kind::Unix;
+  std::string path;         // unix socket path
+  std::string host;         // tcp host (loopback default)
+  uint16_t port = 0;        // tcp port (0 = ephemeral, see bound_port)
+};
+
+/// Parse "unix:PATH" or "tcp:[HOST:]PORT"; throws IoError on bad specs.
+Endpoint parse_endpoint(const std::string& spec);
+
+class ServeSocket {
+ public:
+  /// Bind + listen on `ep` (IoError on failure).  Unix paths are unlinked
+  /// first so a stale socket from a crashed daemon does not block restart.
+  ServeSocket(ServerCore& core, const Endpoint& ep);
+  ~ServeSocket();
+  ServeSocket(const ServeSocket&) = delete;
+  ServeSocket& operator=(const ServeSocket&) = delete;
+
+  /// Run the poll loop until a client sends "shutdown" (or stop() is
+  /// called from another thread).
+  void serve_forever();
+
+  /// Ask the loop to exit; safe from any thread / signal context (writes
+  /// one byte to the self-pipe).
+  void stop();
+
+  /// The bound TCP port (after an ephemeral bind), or 0 for unix sockets.
+  uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t bound_port_ = 0;
+};
+
+/// Blocking client for the daemon's protocol: connect, exchange frames.
+/// Used by incflat_client, the load generator and the smoke tests.
+class ServeClient {
+ public:
+  /// Connect to `ep`; IoError on failure.
+  explicit ServeClient(const Endpoint& ep);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Send one request payload (already-serialised JSON) and block for the
+  /// response payload.  Throws IoError on transport failure, ProtocolError
+  /// on malformed response framing.
+  std::string call_text(const std::string& payload);
+
+  /// Convenience: serialise, call, parse.
+  Json call(const Json& request);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace incflat::serve

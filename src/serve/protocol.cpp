@@ -1,0 +1,71 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+namespace incflat::serve {
+
+std::string encode_frame(const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ProtocolError("frame payload too large: " +
+                        std::to_string(payload.size()) + " bytes");
+  }
+  const auto n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out += payload;
+  return out;
+}
+
+void FrameReader::feed(const char* data, size_t n) {
+  buf_.append(data, n);
+  // Validate the declared length eagerly: a hostile prefix must be rejected
+  // before its body is ever buffered, not after max_payload_ bytes arrived.
+  if (buf_.size() >= 4) {
+    const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
+    const uint32_t len = (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
+                         (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+    if (len > max_payload_) {
+      throw ProtocolError("frame payload too large: " + std::to_string(len) +
+                          " bytes (cap " + std::to_string(max_payload_) + ")");
+    }
+  }
+}
+
+bool FrameReader::next(std::string* payload) {
+  if (buf_.size() < 4) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
+  const uint32_t len = (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
+                       (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+  if (buf_.size() < 4 + size_t{len}) return false;
+  payload->assign(buf_, 4, len);
+  buf_.erase(0, 4 + size_t{len});
+  // The next frame's header is already buffered: validate it now so a
+  // poisoned stream fails on the drain that exposed it.
+  if (buf_.size() >= 4) {
+    const auto* h = reinterpret_cast<const unsigned char*>(buf_.data());
+    const uint32_t next_len = (uint32_t{h[0]} << 24) | (uint32_t{h[1]} << 16) |
+                              (uint32_t{h[2]} << 8) | uint32_t{h[3]};
+    if (next_len > max_payload_) {
+      throw ProtocolError("frame payload too large: " +
+                          std::to_string(next_len) + " bytes (cap " +
+                          std::to_string(max_payload_) + ")");
+    }
+  }
+  return true;
+}
+
+Json error_response(const std::string& code, const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", false).set("code", code).set("error", message);
+  return j;
+}
+
+void echo_id(const Json& request, Json& response) {
+  if (const Json* id = request.find("id")) response.set("id", *id);
+}
+
+}  // namespace incflat::serve

@@ -1,0 +1,152 @@
+// Priority job scheduler: the WorkerPool, generalised for a long-lived
+// server.
+//
+// WorkerPool (src/support/pool.h) runs one homogeneous batch and blocks the
+// caller — exactly what the autotuner wants and exactly what a daemon
+// cannot use: server work arrives continuously, tune jobs take seconds
+// while run jobs take microseconds, and a disconnecting client should be
+// able to abandon work it queued.  JobScheduler keeps the pool's
+// worker-loop skeleton (one mutex, condition-variable dispatch, the
+// pick_width() worker-count rule) and adds:
+//
+//   * three priority classes (High = run, Normal = compile, Low = tune)
+//     drained in strict priority order, with age promotion — a job waiting
+//     longer than `promote_after_ms` is treated as the next class up — so a
+//     burst of High traffic delays Low jobs but never starves them;
+//   * cancellation: cancel(id) unschedules a still-queued job, and flips a
+//     cooperative flag a *running* job can poll via JobContext::cancelled()
+//     (the tuner's budget hook polls it between evaluations);
+//   * per-job queue timeouts: a job still queued past its deadline is
+//     completed as Expired instead of run — a tune job that sat behind a
+//     run burst for too long is dropped, not executed against a client
+//     that gave up on it long ago.
+//
+// Jobs never throw across the scheduler: an escaping exception is captured
+// and rethrown by the first wait() on that job.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incflat::serve {
+
+enum class JobPriority { High = 0, Normal = 1, Low = 2 };
+
+enum class JobState { Queued, Running, Done, Failed, Cancelled, Expired };
+
+const char* job_state_name(JobState s);
+
+/// Handed to a running job for cooperative cancellation checks.
+class JobContext {
+ public:
+  bool cancelled() const { return cancelled_->load(std::memory_order_relaxed); }
+
+ private:
+  friend class JobScheduler;
+  explicit JobContext(const std::atomic<bool>* flag) : cancelled_(flag) {}
+  const std::atomic<bool>* cancelled_;
+};
+
+struct SchedulerStats {
+  int64_t submitted = 0;
+  int64_t executed = 0;   // ran to completion (Done or Failed)
+  int64_t failed = 0;     // executed jobs that threw
+  int64_t cancelled = 0;  // unscheduled while still queued
+  int64_t expired = 0;    // queue deadline passed before a worker got there
+  int64_t queued = 0;     // currently waiting
+  int64_t running = 0;    // currently executing
+  int64_t max_queue_depth = 0;
+};
+
+class JobScheduler {
+ public:
+  /// `workers` <= 0 picks WorkerPool::pick_width's default: min(hardware
+  /// concurrency, 8), at least 1.  `promote_after_ms` is the age at which a
+  /// waiting job is drained as if it were one priority class higher
+  /// (anti-starvation); <= 0 disables promotion.
+  explicit JobScheduler(int workers = 0, double promote_after_ms = 1000.0);
+
+  /// Cancels every queued job, waits for running ones, joins the workers.
+  ~JobScheduler();
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  using JobFn = std::function<void(JobContext&)>;
+  /// Notification that a job was dropped — completed as Cancelled or
+  /// Expired *without running*.  Callers that owe someone an answer per
+  /// submitted job (the socket layer's in-order response queue) use it to
+  /// substitute a timeout/cancelled response; without it a dropped job
+  /// would stall every response sequenced after it.  Invoked with the
+  /// scheduler lock held: must be cheap and must not call back in.
+  using DropFn = std::function<void(JobState)>;
+
+  /// Enqueue a job; returns its id (monotonic from 1).  `queue_timeout_ms`
+  /// > 0 expires the job if no worker has started it within that long.
+  uint64_t submit(JobFn fn, JobPriority pri = JobPriority::Normal,
+                  double queue_timeout_ms = 0, DropFn on_drop = nullptr);
+
+  /// Unschedule a queued job (true) or flag a running one for cooperative
+  /// cancellation (false — it still runs to wherever it checks the flag;
+  /// wait() reports its final state).  False for finished/unknown ids too.
+  bool cancel(uint64_t id);
+
+  /// Block until the job reached a terminal state; rethrows the job's
+  /// exception if it Failed.  Returns the terminal state.  Ids are
+  /// remembered until waited on exactly once (a second wait on the same id
+  /// returns Done immediately).
+  JobState wait(uint64_t id);
+
+  int width() const { return static_cast<int>(threads_.size()); }
+  SchedulerStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    uint64_t id = 0;
+    JobFn fn;
+    DropFn on_drop;
+    JobPriority pri = JobPriority::Normal;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // time_point::max() = no timeout
+    JobState state = JobState::Queued;
+    std::atomic<bool> cancel_flag{false};
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Highest-effective-priority oldest queued job, honoring expiry; null
+  /// when the queue is empty.  Called with mu_ held.
+  std::shared_ptr<Job> pick_locked(Clock::time_point now);
+  void finish_locked(const std::shared_ptr<Job>& job, JobState st);
+
+  /// Terminal record kept for wait(): bounded (oldest-dropped), since the
+  /// daemon's socket layer consumes results via callbacks and never waits.
+  struct Finished {
+    JobState state = JobState::Done;
+    std::exception_ptr error;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  std::vector<std::thread> threads_;
+  std::deque<std::shared_ptr<Job>> queues_[3];     // by JobPriority
+  std::map<uint64_t, std::shared_ptr<Job>> jobs_;  // queued + running
+  std::map<uint64_t, Finished> finished_;
+  uint64_t next_id_ = 1;
+  double promote_after_ms_;
+  bool stop_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace incflat::serve

@@ -1,0 +1,161 @@
+// Transport-independent core of the compile-and-serve daemon.
+//
+// ServerCore::handle() answers one protocol request (src/serve/protocol.h)
+// and is fully thread-safe: the socket layer (src/serve/net.h) calls it
+// from JobScheduler workers, the serve bench and the tests call it from
+// plain threads with no sockets at all — both exercise exactly the code
+// the daemon runs.
+//
+// Request flow:
+//
+//   compile  -> PlanCache lookup under (program, mode, device); miss
+//               compiles via exec::compile() and inserts.  The response
+//               reports `cached`, the flattened-program content hash, and
+//               the cold compile cost, so clients (and the bench's 50x
+//               cold-vs-warm gate) can see amortization happen.
+//   run      -> lookup under (program, mode, device, dataset shape); a miss
+//               reuses the program-level entry's plan when one exists (the
+//               compile-once promise: a new shape never re-flattens) and
+//               builds a TieredRuntime for the shape.  Concurrent runs
+//               against one entry are *batched*: the first requester
+//               becomes the batch leader, drains every queued request for
+//               the key, and executes them back-to-back through the
+//               entry's single TieredRuntime — followers block on their
+//               ticket.  One runtime means the tiered profile/specialize
+//               machinery keeps working server-side: a hot key crosses its
+//               stability window and subsequent batches replay the
+//               specialized schedule.
+//   tune     -> autotunes the program's thresholds on its training
+//               datasets and publishes them; runs with "tuned":true select
+//               them.  The socket layer queues tune jobs at Low priority
+//               so they never starve run traffic.
+//   stats    -> cache / request / scheduler counters, plus a trace-layer
+//               span flush (trace::flush_spans) so a traced daemon's event
+//               buffer stays bounded over months of uptime.
+//
+// Fault injection (ServeOptions::faults, also INCFLAT_FAULTS in incflatd)
+// routes every run through the fault-tolerant executor with a per-entry
+// FaultPlan; an unrecoverable run answers ok=false/"run-failed" — a
+// structured response, not a protocol error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/gpusim/faults.h"
+#include "src/serve/plan_cache.h"
+#include "src/serve/protocol.h"
+#include "src/serve/scheduler.h"
+#include "src/support/json.h"
+
+namespace incflat::serve {
+
+struct ServeOptions {
+  size_t cache_bytes = size_t{64} << 20;
+  int cache_shards = 8;
+  /// Scheduler width; <= 0 picks WorkerPool::pick_width's default.
+  int workers = 0;
+  /// Fault spec (parse_fault_spec syntax) applied to run execution.
+  std::string faults;
+  uint64_t fault_seed = 0xfa0175eedULL;
+  /// Tiered-runtime knobs for served runs.
+  bool specialize = true;
+  int64_t hot_runs = 8;
+  /// Default trial budget of a `tune` request (overridable per request).
+  int tune_trials = 64;
+  /// Queue timeout for Low-priority (tune) jobs submitted by the socket
+  /// layer; 0 = none.
+  double tune_queue_timeout_ms = 0;
+};
+
+/// Request tallies, reported by the stats op.
+struct RequestStats {
+  int64_t total = 0;
+  int64_t compiles = 0;
+  int64_t runs = 0;
+  int64_t tunes = 0;
+  int64_t stats_calls = 0;
+  int64_t errors = 0;        // responses with ok=false
+  int64_t batches = 0;       // run batches with more than one member
+  int64_t batched_runs = 0;  // run requests answered as batch followers
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServeOptions opts = {});
+  ~ServerCore();
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Answer one request.  Thread-safe; never throws (failures become
+  /// ok=false responses).
+  Json handle(const Json& request);
+
+  /// Parse + handle + serialise (compact).  Malformed JSON answers a
+  /// structured "protocol" error; this never throws either.
+  std::string handle_text(const std::string& payload);
+
+  /// Scheduler priority class for an op ("run"/"stats"/"ping"/"shutdown"
+  /// High, "compile" Normal, "tune" Low): the socket layer's dispatch rule.
+  static JobPriority priority_for(const std::string& op);
+
+  PlanCache& cache() { return cache_; }
+  JobScheduler& scheduler() { return sched_; }
+  const ServeOptions& options() const { return opts_; }
+  RequestStats request_stats() const;
+
+ private:
+  struct ServedPlan;
+
+  Json dispatch(const Json& req);
+  Json do_compile(const Json& req);
+  Json do_run(const Json& req);
+  Json do_tune(const Json& req);
+  Json do_stats();
+
+  /// Find or build the (program, mode, device[, shape]) entry.  `sizes`
+  /// null = compile-only entry.
+  std::shared_ptr<ServedPlan> lookup_or_compile(const std::string& benchmark,
+                                                const std::string& mode,
+                                                const std::string& device,
+                                                const std::string& dataset,
+                                                bool* cached);
+
+  /// Execute one run request against an entry (leader-only; entry state is
+  /// exclusively owned while ServedPlan::leader_active).
+  Json run_one(ServedPlan& entry, const Json& req);
+
+  ServeOptions opts_;
+  FaultSpec fspec_;
+  PlanCache cache_;
+
+  /// Published tuned thresholds per program key ("tuned":true runs).
+  std::mutex tuned_mu_;
+  std::map<std::string, std::map<std::string, int64_t>> tuned_;
+
+  /// Memoised dataset shapes ("bench|dataset" -> SizeEnv), so warm-path run
+  /// lookups never pay get_benchmark() just to compute the cache key.
+  std::mutex shapes_mu_;
+  std::map<std::string, std::map<std::string, int64_t>> shapes_;
+
+  mutable std::mutex stats_mu_;
+  RequestStats rstats_;
+
+  /// Declared LAST on purpose: the scheduler's destructor joins workers
+  /// whose jobs call handle(), which touches every member above — member
+  /// destruction runs in reverse declaration order, so the join must come
+  /// first.
+  JobScheduler sched_;
+};
+
+/// Cache key helpers (exposed for tests): "bench|mode|dev" for the program
+/// entry, plus "|k=v,k=v" of the dataset's SizeEnv for a run entry.
+std::string program_key(const std::string& benchmark, const std::string& mode,
+                        const std::string& device);
+std::string shape_fingerprint(const std::map<std::string, int64_t>& sizes);
+
+}  // namespace incflat::serve

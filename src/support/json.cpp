@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace incflat {
@@ -290,17 +291,67 @@ struct Parser {
     }
   }
 
+  bool digit_at(size_t p) const {
+    return p < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[p]));
+  }
+
   double parse_number() {
+    // Strict RFC 8259 grammar, validated *before* conversion.  from_chars
+    // alone is too permissive for wire input: it accepts leading zeros
+    // ("01"), bare fractions (".5", "1."), and C-library spellings like
+    // "inf"/"nan" on some implementations — and a greedy
+    // consume-then-convert loop turns adjacent garbage ("-+1", "1e") into
+    // one vague "bad number".  The daemon feeds this parser bytes straight
+    // off a socket, so each malformation gets a precise rejection.
     const size_t start = pos;
     if (pos < text.size() && text[pos] == '-') ++pos;
-    while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
-            text[pos] == '+' || text[pos] == '-')) {
+    // int = "0" / digit1-9 *DIGIT
+    if (!digit_at(pos)) {
+      pos = start;
+      fail("bad number (expected digit)");
+    }
+    if (text[pos] == '0') {
       ++pos;
+      if (digit_at(pos)) {
+        pos = start;
+        fail("bad number (leading zero)");
+      }
+    } else {
+      while (digit_at(pos)) ++pos;
+    }
+    // frac = "." 1*DIGIT
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digit_at(pos)) {
+        pos = start;
+        fail("bad number (expected digit after '.')");
+      }
+      while (digit_at(pos)) ++pos;
+    }
+    // exp = ("e" / "E") ["-" / "+"] 1*DIGIT
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digit_at(pos)) {
+        pos = start;
+        fail("bad number (expected digit in exponent)");
+      }
+      while (digit_at(pos)) ++pos;
     }
     double v = 0;
     const auto res = std::from_chars(text.data() + start, text.data() + pos, v);
+    if (res.ec == std::errc::result_out_of_range) {
+      // from_chars leaves v unmodified on a range error, so re-read with
+      // strtod to separate the two cases: "1e999" overflows to infinity —
+      // which JSON cannot represent and the writer would silently turn back
+      // into null, so reject it loudly — while "1e-999" underflows toward
+      // zero, which strtod resolves to a denormal or 0.0 and we accept.
+      const double sv = std::strtod(text.c_str() + start, nullptr);
+      if (std::isfinite(sv)) return sv;
+      pos = start;
+      fail("number out of range");
+    }
     if (res.ec != std::errc{} || res.ptr != text.data() + pos) {
       pos = start;
       fail("bad number");
@@ -357,6 +408,7 @@ struct Parser {
     if (consume_lit("true")) return Json(true);
     if (consume_lit("false")) return Json(false);
     if (consume_lit("null")) return Json();
+    if (c == '+') fail("bad number (leading '+' is not allowed)");
     if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
       return Json(parse_number());
     }

@@ -7,10 +7,20 @@
 
 namespace incflat {
 
+int WorkerPool::pick_width(int requested, unsigned hardware) {
+  if (requested > 0) return requested;
+  // hardware_concurrency() may legitimately return 0 (the value is "not
+  // computable"); clamp to >= 1 before the min pick so the width is always
+  // at least the calling thread.  The clamp also guards the unsigned->int
+  // cast against absurd platform values.
+  const int hw = hardware == 0
+                     ? 1
+                     : static_cast<int>(std::min(hardware, 1024u));
+  return std::min(hw, 8);
+}
+
 WorkerPool::WorkerPool(int workers) {
-  int hw = static_cast<int>(std::thread::hardware_concurrency());
-  if (hw <= 0) hw = 4;
-  const int n = workers > 0 ? workers : std::min(hw, 8);
+  const int n = pick_width(workers, std::thread::hardware_concurrency());
   threads_.reserve(static_cast<size_t>(std::max(n - 1, 0)));
   for (int i = 1; i < n; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });

@@ -35,6 +35,14 @@ class WorkerPool {
  public:
   /// `workers` <= 0 picks min(hardware_concurrency, 8); 1 runs inline.
   explicit WorkerPool(int workers = 0);
+
+  /// The pool's worker-count rule, exposed for reuse (serve::JobScheduler)
+  /// and regression testing: a positive request wins verbatim; otherwise
+  /// min(hardware, 8) — where `hardware` is hardware_concurrency(), which
+  /// the standard allows to return 0 ("not computable") and which is
+  /// therefore clamped to >= 1 *before* the min pick, so the zero-CPU case
+  /// degrades to inline execution instead of a nonsense width.
+  static int pick_width(int requested, unsigned hardware);
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;

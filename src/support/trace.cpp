@@ -26,10 +26,24 @@ struct Event {
   int64_t dur_us;
 };
 
+int64_t clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 struct State {
   std::mutex mu;
-  Clock::time_point epoch = Clock::now();
+  // Base timestamp in raw clock microseconds.  Atomic because Span
+  // construction reads it *without* the mutex (a disabled-path-cheap
+  // design constraint) while reset() writes it — with a plain
+  // time_point that pair is a data race under TSan.
+  std::atomic<int64_t> epoch_us{clock_us()};
   std::vector<Event> events;
+  // Flushed span aggregates (flush_spans): per-name totals that survive
+  // after their raw events were released, in first-recorded order.
+  std::vector<SpanStat> flushed;
+  std::map<std::string, size_t> flushed_ix;
   // Counters accumulate; gauges overwrite.  Insertion order is preserved
   // for stable summary/report output.
   std::vector<std::pair<std::string, int64_t>> counters;
@@ -37,9 +51,7 @@ struct State {
   std::map<std::thread::id, int> tids;
 
   int64_t now_us() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                 epoch)
-        .count();
+    return clock_us() - epoch_us.load(std::memory_order_relaxed);
   }
 
   int tid_of(std::thread::id id) {
@@ -79,11 +91,32 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void reset() {
   State& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
-  s.epoch = Clock::now();
+  s.epoch_us.store(clock_us(), std::memory_order_relaxed);
   s.events.clear();
+  s.flushed.clear();
+  s.flushed_ix.clear();
   s.counters.clear();
   s.counter_ix.clear();
   s.tids.clear();
+}
+
+int64_t flush_spans() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  const int64_t n = static_cast<int64_t>(s.events.size());
+  for (const Event& e : s.events) {
+    auto it = s.flushed_ix.find(e.name);
+    if (it == s.flushed_ix.end()) {
+      s.flushed_ix.emplace(e.name, s.flushed.size());
+      s.flushed.push_back(SpanStat{e.name, 1, static_cast<double>(e.dur_us)});
+    } else {
+      s.flushed[it->second].calls += 1;
+      s.flushed[it->second].total_us += static_cast<double>(e.dur_us);
+    }
+  }
+  s.events.clear();
+  s.events.shrink_to_fit();
+  return n;
 }
 
 Span::Span(const char* name, const char* category)
@@ -119,8 +152,9 @@ void gauge(const std::string& name, int64_t value) {
 std::vector<SpanStat> span_stats() {
   State& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
-  std::vector<SpanStat> out;
+  std::vector<SpanStat> out = s.flushed;
   std::map<std::string, size_t> ix;
+  for (size_t i = 0; i < out.size(); ++i) ix.emplace(out[i].name, i);
   for (const Event& e : s.events) {
     auto it = ix.find(e.name);
     if (it == ix.end()) {

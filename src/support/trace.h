@@ -34,7 +34,19 @@ void set_enabled(bool on);
 bool enabled();
 
 /// Drop every recorded span, counter and gauge (keeps the enabled flag).
+/// Safe to call while other threads are constructing Spans: the time epoch
+/// is atomic, so a concurrent span lands with a sane (if cross-epoch)
+/// timestamp instead of racing.  A long-lived daemon calls this between
+/// serving generations.
 void reset();
+
+/// Fold every buffered raw span event into persistent per-name aggregates
+/// (visible through span_stats() / print_summary()) and release the event
+/// storage; returns how many events were folded.  chrome_json() only shows
+/// events recorded since the last flush — flushing trades replayable
+/// timelines for bounded memory, which is the right trade for a daemon
+/// whose stats endpoint calls this periodically over months of uptime.
+int64_t flush_spans();
 
 /// RAII scoped span: wall time between construction and destruction,
 /// attributed to the calling thread.  `name` and `category` must be

@@ -180,6 +180,39 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
 }
 
+TEST(Json, NumberGrammarFuzzEdges) {
+  // Inputs a serving daemon actually receives over the wire: strict RFC 8259
+  // grammar, so every one of these near-misses must be rejected rather than
+  // silently truncated or misread.
+  EXPECT_THROW(Json::parse("+1"), std::runtime_error);     // leading '+'
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);      // lone minus
+  EXPECT_THROW(Json::parse("--1"), std::runtime_error);
+  EXPECT_THROW(Json::parse("01"), std::runtime_error);     // leading zero
+  EXPECT_THROW(Json::parse("-01"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1."), std::runtime_error);     // empty fraction
+  EXPECT_THROW(Json::parse(".5"), std::runtime_error);     // empty integer
+  EXPECT_THROW(Json::parse("-.5"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1e"), std::runtime_error);     // empty exponent
+  EXPECT_THROW(Json::parse("1e+"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1e999"), std::runtime_error);  // overflows double
+  EXPECT_THROW(Json::parse("[1, +2]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\": 007}"), std::runtime_error);
+  // ...while everything the grammar does admit still parses.
+  EXPECT_EQ(Json::parse("-0").as_double(), 0.0);
+  EXPECT_EQ(Json::parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("-1.25e-2").as_double(), -0.0125);
+  EXPECT_EQ(Json::parse("1E+2").as_double(), 100.0);
+  // Underflow is not an error: subnormal-or-zero is the correct reading.
+  EXPECT_NEAR(Json::parse("1e-999").as_double(), 0.0, 1e-300);
+}
+
+TEST(Json, NumberRoundTripsExtremeDoubles) {
+  for (const double d : {1.7976931348623157e308, 4.9e-324, -2.2250738585072014e-308}) {
+    EXPECT_EQ(Json::parse(Json(d).str()).as_double(), d);
+  }
+}
+
 TEST(Json, NestedDocumentRoundTrips) {
   Json j = Json::object();
   j.set("name", "bench\t1")
@@ -252,6 +285,26 @@ TEST(WorkerPool, StopsDispatchingAfterAFailure) {
                         }),
                std::runtime_error);
   EXPECT_LT(started.load(), 10000);
+}
+
+TEST(WorkerPool, PickWidthClampsZeroHardwareToOne) {
+  // hardware_concurrency() == 0 means "not computable"; the derived width
+  // must still be a valid pool size, never 0 or negative.
+  EXPECT_EQ(WorkerPool::pick_width(0, 0u), 1);
+  EXPECT_EQ(WorkerPool::pick_width(-3, 0u), 1);
+  EXPECT_EQ(WorkerPool::pick_width(0, 1u), 1);
+  EXPECT_EQ(WorkerPool::pick_width(0, 4u), 4);
+  EXPECT_EQ(WorkerPool::pick_width(0, 64u), 8);   // capped at 8
+  EXPECT_EQ(WorkerPool::pick_width(0, ~0u), 8);   // absurd platform value
+  EXPECT_EQ(WorkerPool::pick_width(6, 0u), 6);    // explicit request wins
+}
+
+TEST(WorkerPool, ZeroHardwareWidthStillRunsTasks) {
+  // The degraded width-1 pool executes inline on the calling thread.
+  WorkerPool pool(WorkerPool::pick_width(0, 0u));
+  std::atomic<int> ran{0};
+  pool.run(16, [&](int) { ++ran; });
+  EXPECT_EQ(ran.load(), 16);
 }
 
 TEST(WorkerPool, ReentrantRunFailsLoudly) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -230,6 +231,67 @@ TEST_F(TraceTest, DisabledPipelineEmitsNothing) {
   simulate(device_k40(), c, b.tuning.front().sizes, ThresholdEnv{});
   EXPECT_TRUE(trace::span_stats().empty());
   EXPECT_TRUE(trace::counters().empty());
+}
+
+TEST_F(TraceTest, FlushFoldsSpansIntoPersistentAggregates) {
+  { trace::Span s("phase.a"); }
+  { trace::Span s("phase.a"); }
+  { trace::Span s("phase.b"); }
+  EXPECT_EQ(trace::flush_spans(), 3);
+  // The raw events are gone (chrome timeline is empty of span events)...
+  EXPECT_EQ(trace::flush_spans(), 0);
+  // ...but the aggregates survive and keep accumulating across flushes.
+  auto find = [](const std::vector<trace::SpanStat>& stats,
+                 const std::string& name) -> const trace::SpanStat* {
+    for (const auto& s : stats)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  std::vector<trace::SpanStat> stats = trace::span_stats();
+  ASSERT_NE(find(stats, "phase.a"), nullptr);
+  EXPECT_EQ(find(stats, "phase.a")->calls, 2);
+  ASSERT_NE(find(stats, "phase.b"), nullptr);
+  { trace::Span s("phase.a"); }
+  EXPECT_EQ(trace::flush_spans(), 1);
+  stats = trace::span_stats();
+  EXPECT_EQ(find(stats, "phase.a")->calls, 3);
+  // reset() clears the flushed aggregates along with everything else.
+  trace::reset();
+  EXPECT_TRUE(trace::span_stats().empty());
+}
+
+TEST_F(TraceTest, SpanStatsMergeFlushedAndLiveEvents) {
+  { trace::Span s("merge.x"); }
+  trace::flush_spans();
+  { trace::Span s("merge.x"); }  // live, unflushed
+  const std::vector<trace::SpanStat> stats = trace::span_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].calls, 2);
+}
+
+TEST_F(TraceTest, ResetIsSafeAgainstConcurrentSpans) {
+  // A daemon calls reset() between serving generations while worker
+  // threads are still constructing spans.  Under TSan this test is the
+  // regression guard for the epoch read: no data race, and every span
+  // either lands or is dropped — never tears.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> spanners;
+  for (int t = 0; t < 4; ++t) {
+    spanners.emplace_back([&] {
+      while (!stop.load()) {
+        trace::Span s("race.span");
+        trace::count("race.count");
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    trace::reset();
+    if (i % 3 == 0) trace::flush_spans();
+  }
+  stop.store(true);
+  for (auto& t : spanners) t.join();
+  trace::reset();
+  EXPECT_TRUE(trace::span_stats().empty());
 }
 
 }  // namespace

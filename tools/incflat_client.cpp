@@ -1,0 +1,149 @@
+// incflat_client — one-shot client for incflatd.
+//
+//   incflat_client --connect unix:/tmp/incflatd.sock ping
+//   incflat_client compile matmul --mode incremental --device k40
+//   incflat_client run matmul D1 --tuned
+//   incflat_client tune matmul --trials 64
+//   incflat_client stats            incflat_client shutdown
+//   incflat_client raw '{"op":"run","benchmark":"matmul","dataset":"D1"}'
+//
+// Prints the response JSON (pretty) to stdout.  Exit codes: 0 response has
+// ok=true, 1 response has ok=false, 2 usage error, 3 transport failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/serve/net.h"
+#include "src/support/error.h"
+#include "src/support/json.h"
+
+using namespace incflat;
+
+namespace {
+
+int usage(FILE* to) {
+  std::fprintf(
+      to,
+      "usage: incflat_client [--connect SPEC] OP [args] [options]\n"
+      "\n"
+      "  ops: ping | stats | shutdown\n"
+      "       compile BENCH            [--mode M] [--device D]\n"
+      "       run BENCH DATASET        [--mode M] [--device D] [--tuned]\n"
+      "                                [--threshold NAME=V]...\n"
+      "       tune BENCH               [--mode M] [--device D] [--trials N]\n"
+      "       raw JSON                 send a verbatim request payload\n"
+      "\n"
+      "  --connect SPEC   unix:PATH or tcp:[HOST:]PORT\n"
+      "                   (default unix:/tmp/incflatd.sock)\n");
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect = "unix:/tmp/incflatd.sock";
+  std::vector<std::string> pos;
+  std::string mode, device;
+  std::vector<std::pair<std::string, int64_t>> thresholds;
+  int trials = 0;
+  bool tuned = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "incflat_client: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--device") {
+      device = next();
+    } else if (arg == "--trials") {
+      trials = std::atoi(next());
+    } else if (arg == "--tuned") {
+      tuned = true;
+    } else if (arg == "--threshold") {
+      const std::string kv = next();
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr,
+                     "incflat_client: --threshold wants NAME=VALUE\n");
+        return 2;
+      }
+      thresholds.emplace_back(kv.substr(0, eq),
+                              std::atoll(kv.c_str() + eq + 1));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "incflat_client: unknown option '%s'\n",
+                   arg.c_str());
+      return usage(stderr);
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.empty()) return usage(stderr);
+
+  const std::string& op = pos[0];
+  Json req = Json::object();
+  std::string raw_payload;
+  if (op == "ping" || op == "stats" || op == "shutdown") {
+    req.set("op", op);
+  } else if (op == "compile" || op == "tune") {
+    if (pos.size() != 2) return usage(stderr);
+    req.set("op", op);
+    req.set("benchmark", pos[1]);
+    if (op == "tune" && trials > 0) req.set("trials", trials);
+  } else if (op == "run") {
+    if (pos.size() != 3) return usage(stderr);
+    req.set("op", "run");
+    req.set("benchmark", pos[1]);
+    req.set("dataset", pos[2]);
+    if (tuned) req.set("tuned", true);
+    if (!thresholds.empty()) {
+      Json t = Json::object();
+      for (const auto& [k, v] : thresholds) t.set(k, v);
+      req.set("thresholds", t);
+    }
+  } else if (op == "raw") {
+    if (pos.size() != 2) return usage(stderr);
+    raw_payload = pos[1];
+  } else {
+    std::fprintf(stderr, "incflat_client: unknown op '%s'\n", op.c_str());
+    return usage(stderr);
+  }
+  if (raw_payload.empty()) {
+    if (!mode.empty()) req.set("mode", mode);
+    if (!device.empty()) req.set("device", device);
+  }
+
+  try {
+    serve::ServeClient client(serve::parse_endpoint(connect));
+    const std::string resp_text = raw_payload.empty()
+                                      ? client.call_text(req.str(-1))
+                                      : client.call_text(raw_payload);
+    Json resp;
+    try {
+      resp = Json::parse(resp_text);
+    } catch (const JsonParseError&) {
+      std::printf("%s\n", resp_text.c_str());
+      return 1;
+    }
+    std::printf("%s\n", resp.str(2).c_str());
+    const Json* ok = resp.find("ok");
+    return ok && ok->is_bool() && ok->as_bool() ? 0 : 1;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "incflat_client: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "incflat_client: %s\n", e.what());
+    return 1;
+  }
+}

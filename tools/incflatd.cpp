@@ -1,0 +1,134 @@
+// incflatd — the compile-and-serve daemon.
+//
+// Serves compile / run / tune / stats requests over the length-prefixed
+// JSON protocol (src/serve/protocol.h) on a unix or tcp endpoint, with a
+// sharded LRU plan cache, a priority job scheduler, and same-plan request
+// batching (src/serve/).  See DESIGN.md, "Compile-and-serve daemon".
+//
+//   incflatd --listen unix:/tmp/incflatd.sock
+//   incflatd --listen tcp:7465 --cache-mb 128 --workers 4
+//            --faults launch=1e-4 --tune-trials 128
+//
+// Exit codes: 0 clean shutdown, 2 usage error, 3 bind/IO failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/net.h"
+#include "src/serve/server.h"
+#include "src/support/error.h"
+#include "src/support/trace.h"
+
+using namespace incflat;
+
+namespace {
+
+struct Options {
+  std::string listen = "unix:/tmp/incflatd.sock";
+  serve::ServeOptions serve;
+  bool trace = false;
+  bool print_ready = false;  // print "READY <endpoint>" once listening
+};
+
+int usage(FILE* to) {
+  std::fprintf(to,
+               "usage: incflatd [options]\n"
+               "\n"
+               "  --listen SPEC      endpoint: unix:PATH or tcp:[HOST:]PORT\n"
+               "                     (default unix:/tmp/incflatd.sock;\n"
+               "                     tcp port 0 picks an ephemeral port)\n"
+               "  --cache-mb N       plan cache byte budget in MiB "
+               "(default 64)\n"
+               "  --cache-shards N   plan cache shard count (default 8)\n"
+               "  --workers N        scheduler worker threads "
+               "(default: min(cores, 8))\n"
+               "  --faults SPEC      fault injection for served runs\n"
+               "                     (also INCFLAT_FAULTS)\n"
+               "  --fault-seed N     fault stream seed "
+               "(also INCFLAT_FAULT_SEED)\n"
+               "  --no-specialize    disable tiered specialization\n"
+               "  --hot-runs N       specialization stability window "
+               "(default 8)\n"
+               "  --tune-trials N    default tune trial budget (default 64)\n"
+               "  --tune-timeout MS  drop tune jobs queued longer than MS\n"
+               "  --trace            enable the trace layer (stats op "
+               "reports spans)\n"
+               "  --ready            print 'READY <endpoint>' on stdout "
+               "once listening\n");
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const char* env = std::getenv("INCFLAT_FAULTS")) opt.serve.faults = env;
+  if (const char* env = std::getenv("INCFLAT_FAULT_SEED"))
+    opt.serve.fault_seed = std::strtoull(env, nullptr, 0);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "incflatd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--listen") {
+      opt.listen = next();
+    } else if (arg == "--cache-mb") {
+      opt.serve.cache_bytes = static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--cache-shards") {
+      opt.serve.cache_shards = std::atoi(next());
+    } else if (arg == "--workers") {
+      opt.serve.workers = std::atoi(next());
+    } else if (arg == "--faults") {
+      opt.serve.faults = next();
+    } else if (arg == "--fault-seed") {
+      opt.serve.fault_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--no-specialize") {
+      opt.serve.specialize = false;
+    } else if (arg == "--hot-runs") {
+      opt.serve.hot_runs = std::atoll(next());
+    } else if (arg == "--tune-trials") {
+      opt.serve.tune_trials = std::atoi(next());
+    } else if (arg == "--tune-timeout") {
+      opt.serve.tune_queue_timeout_ms = std::atof(next());
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--ready") {
+      opt.print_ready = true;
+    } else {
+      std::fprintf(stderr, "incflatd: unknown option '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+
+  try {
+    if (opt.trace) trace::set_enabled(true);
+    const serve::Endpoint ep = serve::parse_endpoint(opt.listen);
+    serve::ServerCore core(opt.serve);
+    serve::ServeSocket sock(core, ep);
+    if (opt.print_ready) {
+      if (ep.kind == serve::Endpoint::Kind::Tcp) {
+        std::printf("READY tcp:%s:%u\n",
+                    ep.host.empty() ? "127.0.0.1" : ep.host.c_str(),
+                    static_cast<unsigned>(sock.bound_port()));
+      } else {
+        std::printf("READY unix:%s\n", ep.path.c_str());
+      }
+      std::fflush(stdout);
+    }
+    sock.serve_forever();
+    return 0;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "incflatd: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "incflatd: %s\n", e.what());
+    return 1;
+  }
+}

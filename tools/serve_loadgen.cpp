@@ -1,0 +1,298 @@
+// serve_loadgen — concurrent load generator for incflatd.
+//
+// Drives N client connections against a running daemon with a configurable
+// request mix and zipfian key skew over (benchmark, dataset) pairs — the
+// shape of real serving traffic, where a handful of hot models take most of
+// the requests and the tail keeps the cache honest.  Reports throughput,
+// per-op latency percentiles and the error/protocol-failure count; exits
+// nonzero if any response failed structurally (bad frame, unparseable JSON)
+// so CI can assert "zero protocol errors" directly on the exit code.
+//
+//   serve_loadgen --connect unix:/tmp/incflatd.sock --clients 16
+//       --requests 200 --zipf 1.1 --mix run=0.9,compile=0.1
+//
+// Exit codes: 0 all responses structurally valid, 1 protocol/transport
+// errors seen, 2 usage error, 3 could not connect.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchsuite/benchmark.h"
+#include "src/serve/net.h"
+#include "src/support/error.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+
+using namespace incflat;
+
+namespace {
+
+struct Options {
+  std::string connect = "unix:/tmp/incflatd.sock";
+  int clients = 16;
+  int requests = 100;  // per client
+  double zipf = 1.1;   // key-skew exponent; 0 = uniform
+  double run_frac = 0.9, compile_frac = 0.1, stats_frac = 0.0;
+  uint64_t seed = 0x10adULL;
+  std::string device = "k40";
+  std::string json_out;  // optional machine-readable report
+};
+
+int usage(FILE* to) {
+  std::fprintf(to,
+               "usage: serve_loadgen [options]\n"
+               "  --connect SPEC    unix:PATH or tcp:[HOST:]PORT\n"
+               "  --clients N       concurrent connections (default 16)\n"
+               "  --requests N      requests per client (default 100)\n"
+               "  --zipf S          zipfian skew exponent over keys "
+               "(default 1.1; 0 = uniform)\n"
+               "  --mix SPEC        op mix, e.g. run=0.9,compile=0.1\n"
+               "                    (ops: run, compile, stats)\n"
+               "  --device D        device profile for requests "
+               "(default k40)\n"
+               "  --seed N          workload seed\n"
+               "  --json FILE       write the report as JSON\n");
+  return to == stdout ? 0 : 2;
+}
+
+struct Key {
+  std::string benchmark;
+  std::string dataset;
+};
+
+/// Latency sample sink, one per op kind.
+struct Lat {
+  std::vector<double> us;
+  void add(double v) { us.push_back(v); }
+  double pct(double p) {
+    if (us.empty()) return 0;
+    std::sort(us.begin(), us.end());
+    const size_t ix = std::min(
+        us.size() - 1, static_cast<size_t>(p / 100.0 *
+                                           static_cast<double>(us.size())));
+    return us[ix];
+  }
+};
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_loadgen: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--connect") {
+      opt.connect = next();
+    } else if (arg == "--clients") {
+      opt.clients = std::atoi(next());
+    } else if (arg == "--requests") {
+      opt.requests = std::atoi(next());
+    } else if (arg == "--zipf") {
+      opt.zipf = std::atof(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--device") {
+      opt.device = next();
+    } else if (arg == "--json") {
+      opt.json_out = next();
+    } else if (arg == "--mix") {
+      opt.run_frac = opt.compile_frac = opt.stats_frac = 0;
+      std::string spec = next();
+      size_t pos = 0;
+      while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string part = spec.substr(pos, comma - pos);
+        const size_t eq = part.find('=');
+        if (eq == std::string::npos) {
+          std::fprintf(stderr, "serve_loadgen: bad --mix part '%s'\n",
+                       part.c_str());
+          return 2;
+        }
+        const std::string op = part.substr(0, eq);
+        const double f = std::atof(part.c_str() + eq + 1);
+        if (op == "run") opt.run_frac = f;
+        else if (op == "compile") opt.compile_frac = f;
+        else if (op == "stats") opt.stats_frac = f;
+        else {
+          std::fprintf(stderr, "serve_loadgen: unknown mix op '%s'\n",
+                       op.c_str());
+          return 2;
+        }
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "serve_loadgen: unknown option '%s'\n",
+                   arg.c_str());
+      return usage(stderr);
+    }
+  }
+
+  // The key population: every (benchmark, evaluation dataset) pair, in a
+  // fixed order so the zipf ranks are stable across runs.
+  std::vector<Key> keys;
+  for (const std::string& name : all_benchmark_names()) {
+    const Benchmark b = get_benchmark(name);
+    for (const auto& d : b.datasets) keys.push_back({name, d.name});
+  }
+  if (keys.empty()) {
+    std::fprintf(stderr, "serve_loadgen: no benchmark datasets\n");
+    return 1;
+  }
+
+  // Zipfian CDF over key ranks: P(rank k) ~ 1 / k^s.
+  std::vector<double> cdf(keys.size());
+  double acc = 0;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    acc += opt.zipf > 0
+               ? 1.0 / std::pow(static_cast<double>(k + 1), opt.zipf)
+               : 1.0;
+    cdf[k] = acc;
+  }
+  for (double& c : cdf) c /= acc;
+
+  const serve::Endpoint ep = [&] {
+    try {
+      return serve::parse_endpoint(opt.connect);
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "serve_loadgen: %s\n", e.what());
+      std::exit(2);
+    }
+  }();
+
+  std::atomic<int64_t> protocol_errors{0};  // transport/framing/parse
+  std::atomic<int64_t> request_errors{0};   // structured ok=false
+  std::mutex agg_mu;
+  std::map<std::string, Lat> lat;  // per-op latency, merged under agg_mu
+  int64_t total = 0;
+
+  const double t0 = now_us();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::map<std::string, Lat> local;
+      Rng rng(opt.seed + static_cast<uint64_t>(c) * 0x9e3779b97f4a7c15ULL);
+      try {
+        serve::ServeClient client(ep);
+        for (int r = 0; r < opt.requests; ++r) {
+          // Pick the op, then the key by zipf rank.
+          const double u = rng.uniform();
+          std::string op = "run";
+          if (u >= opt.run_frac && u < opt.run_frac + opt.compile_frac)
+            op = "compile";
+          else if (u >= opt.run_frac + opt.compile_frac &&
+                   u < opt.run_frac + opt.compile_frac + opt.stats_frac)
+            op = "stats";
+          const double kv = rng.uniform();
+          const size_t rank = static_cast<size_t>(
+              std::lower_bound(cdf.begin(), cdf.end(), kv) - cdf.begin());
+          const Key& key = keys[std::min(rank, keys.size() - 1)];
+
+          Json req = Json::object();
+          req.set("op", op);
+          if (op != "stats") {
+            req.set("benchmark", key.benchmark);
+            req.set("device", opt.device);
+          }
+          if (op == "run") req.set("dataset", key.dataset);
+
+          const double s = now_us();
+          Json resp;
+          try {
+            resp = client.call(req);
+          } catch (const std::exception&) {
+            ++protocol_errors;
+            return;  // connection is gone; this client stops
+          }
+          local[op].add(now_us() - s);
+          const Json* ok = resp.find("ok");
+          if (!ok || !ok->is_bool()) {
+            ++protocol_errors;
+          } else if (!ok->as_bool()) {
+            ++request_errors;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve_loadgen: client %d: %s\n", c, e.what());
+        ++protocol_errors;
+      }
+      std::lock_guard<std::mutex> lk(agg_mu);
+      for (auto& [op, l] : local) {
+        auto& dst = lat[op];
+        dst.us.insert(dst.us.end(), l.us.begin(), l.us.end());
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double wall_us = now_us() - t0;
+  for (auto& [op, l] : lat) total += static_cast<int64_t>(l.us.size());
+
+  const double throughput =
+      wall_us > 0 ? static_cast<double>(total) / (wall_us / 1e6) : 0;
+  std::printf("serve_loadgen: %lld requests over %d clients in %.1f ms "
+              "(%.0f req/s)\n",
+              static_cast<long long>(total), opt.clients, wall_us / 1000.0,
+              throughput);
+  Json ops = Json::object();
+  for (auto& [op, l] : lat) {
+    std::printf("  %-8s n=%-6zu p50=%8.1fus  p95=%8.1fus  p99=%8.1fus\n",
+                op.c_str(), l.us.size(), l.pct(50), l.pct(95), l.pct(99));
+    Json o = Json::object();
+    o.set("n", l.us.size());
+    o.set("p50_us", l.pct(50));
+    o.set("p95_us", l.pct(95));
+    o.set("p99_us", l.pct(99));
+    ops.set(op, o);
+  }
+  std::printf("  errors: protocol=%lld request=%lld\n",
+              static_cast<long long>(protocol_errors.load()),
+              static_cast<long long>(request_errors.load()));
+
+  if (!opt.json_out.empty()) {
+    Json doc = Json::object();
+    doc.set("clients", opt.clients);
+    doc.set("requests_per_client", opt.requests);
+    doc.set("zipf", opt.zipf);
+    doc.set("total", total);
+    doc.set("wall_ms", wall_us / 1000.0);
+    doc.set("throughput_rps", throughput);
+    doc.set("protocol_errors", protocol_errors.load());
+    doc.set("request_errors", request_errors.load());
+    doc.set("ops", ops);
+    FILE* f = std::fopen(opt.json_out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "serve_loadgen: cannot write %s\n",
+                   opt.json_out.c_str());
+      return 1;
+    }
+    const std::string text = doc.str(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return protocol_errors.load() > 0 ? 1 : 0;
+}
