@@ -169,6 +169,7 @@ struct ServeSocket::Impl {
     int fd = -1;
     FrameReader reader;
     std::string outbuf;
+    size_t outoff = 0;       // written prefix of outbuf; compacted on drain
     uint64_t next_seq = 0;   // next request sequence number to assign
     uint64_t next_write = 0; // next sequence number to write out
     std::map<uint64_t, std::string> ready;  // out-of-order completions
@@ -204,20 +205,26 @@ struct ServeSocket::Impl {
   }
 
   void flush(uint64_t id, Conn& c) {
-    while (!c.outbuf.empty()) {
-      const ssize_t w = ::write(c.fd, c.outbuf.data(), c.outbuf.size());
+    while (c.outoff < c.outbuf.size()) {
+      const ssize_t w = ::write(c.fd, c.outbuf.data() + c.outoff,
+                                c.outbuf.size() - c.outoff);
       if (w < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         close_conn(id);  // peer vanished mid-response
         return;
       }
-      c.outbuf.erase(0, static_cast<size_t>(w));
+      c.outoff += static_cast<size_t>(w);
     }
+    // Fully drained: compact.  The written prefix is tracked as an offset,
+    // not erased per write — erasing the front of a large buffer on every
+    // partial write to a slow client would be quadratic.
+    c.outbuf.clear();
+    c.outoff = 0;
     // Close only once everything owed has been written: responses still in
     // flight (queued or waiting for in-order drain) count as owed, so a
     // shutdown acked via the done queue is flushed before the fd closes.
-    if (c.outbuf.empty() && c.closing && c.inflight == 0) {
+    if (c.closing && c.inflight == 0) {
       if (c.shutdown_after) stop.store(true);
       close_conn(id);
     }
@@ -304,17 +311,27 @@ struct ServeSocket::Impl {
         return;
       }
       try {
+        // Both feed() and next() can surface a poisoned length prefix:
+        // feed() when it heads the buffer, next() when draining a valid
+        // frame exposes it.
         conn->reader.feed(buf, static_cast<size_t>(n));
+        std::string payload;
+        while (conn->reader.next(&payload)) handle_payload(id, conn, payload);
       } catch (const ProtocolError& e) {
         // Framing is poisoned: answer once, then close after the flush.
-        enqueue_response(*conn,
-                         error_response(code::kProtocol, e.what()).str(-1));
+        // The error takes the connection's next sequence number and goes
+        // through the ordinary in-order drain, so it is written *after*
+        // every response still in flight — the in-order guarantee holds
+        // through the connection's final frames.
+        const uint64_t seq = conn->next_seq++;
+        ++conn->inflight;
+        conn->ready.emplace(seq,
+                            error_response(code::kProtocol, e.what()).str(-1));
         conn->closing = true;
+        drain_ready(*conn);
         flush(id, *conn);
         return;
       }
-      std::string payload;
-      while (conn->reader.next(&payload)) handle_payload(id, conn, payload);
       if (static_cast<size_t>(n) < sizeof(buf)) break;
     }
     flush(id, *conn);

@@ -40,21 +40,17 @@ bool FrameReader::next(std::string* payload) {
   const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
   const uint32_t len = (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
                        (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+  // Validated on *entry*, not after the drain: a valid frame followed by a
+  // poisoned header must still be delivered (it was fully received and owed
+  // an answer) — the poison then throws on the next drain attempt, still
+  // within the read burst that buffered it.
+  if (len > max_payload_) {
+    throw ProtocolError("frame payload too large: " + std::to_string(len) +
+                        " bytes (cap " + std::to_string(max_payload_) + ")");
+  }
   if (buf_.size() < 4 + size_t{len}) return false;
   payload->assign(buf_, 4, len);
   buf_.erase(0, 4 + size_t{len});
-  // The next frame's header is already buffered: validate it now so a
-  // poisoned stream fails on the drain that exposed it.
-  if (buf_.size() >= 4) {
-    const auto* h = reinterpret_cast<const unsigned char*>(buf_.data());
-    const uint32_t next_len = (uint32_t{h[0]} << 24) | (uint32_t{h[1]} << 16) |
-                              (uint32_t{h[2]} << 8) | uint32_t{h[3]};
-    if (next_len > max_payload_) {
-      throw ProtocolError("frame payload too large: " +
-                          std::to_string(next_len) + " bytes (cap " +
-                          std::to_string(max_payload_) + ")");
-    }
-  }
   return true;
 }
 

@@ -188,9 +188,11 @@ void JobScheduler::worker_loop() {
 
 JobState JobScheduler::wait(uint64_t id) {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] {
-    return stop_ || jobs_.find(id) == jobs_.end();
-  });
+  // Not gated on stop_: shutdown cancels queued jobs (erasing them from
+  // jobs_ under this mutex) and workers finish running jobs before joining,
+  // so every submitted id still leaves jobs_ — returning early on stop_
+  // would report a still-Running job as Done and swallow its exception.
+  cv_done_.wait(lk, [&] { return jobs_.find(id) == jobs_.end(); });
   auto it = finished_.find(id);
   if (it == finished_.end()) return JobState::Done;  // reaped long ago
   const Finished fin = it->second;

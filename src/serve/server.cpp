@@ -440,14 +440,58 @@ Json ServerCore::do_run(const Json& req) {
   // executors — so followers can keep enqueueing while a batch runs, and a
   // burst of N requests against one plan becomes one leader executing N
   // back-to-back runs on the entry's single TieredRuntime.
+  //
+  // Leadership must be released on every exit path: an exception escaping
+  // with leader_active still set would leave followers waiting on the cv
+  // forever and wedge the key for the life of the daemon.  run_one failures
+  // are caught per ticket so each offending request gets its own error
+  // response (a follower's bad thresholds must not surface as the leader's
+  // failure, nor abort its batchmates); the guard covers anything else that
+  // escapes the drain, failing open tickets and waking every waiter.
   entry->leader_active = true;
+  std::deque<std::shared_ptr<ServedPlan::Ticket>> batch;
+  struct LeaderGuard {
+    ServedPlan& e;
+    std::unique_lock<std::mutex>& lk;
+    std::deque<std::shared_ptr<ServedPlan::Ticket>>& batch;
+    bool released = false;
+    static void fail(ServedPlan::Ticket& t) {
+      if (t.done) return;
+      t.resp = error_response(code::kInternal, "batch leader aborted");
+      t.done = true;
+    }
+    ~LeaderGuard() {
+      if (released) return;
+      try {
+        if (!lk.owns_lock()) lk.lock();
+        for (auto& t : batch) fail(*t);
+        for (auto& t : e.pending) fail(*t);
+        e.pending.clear();
+        e.leader_active = false;
+        e.cv.notify_all();
+        lk.unlock();
+      } catch (...) {
+        // Unlockable or unallocatable mid-unwind: nothing safer remains.
+      }
+    }
+  } guard{*entry, lk, batch};
   while (!entry->pending.empty()) {
-    std::deque<std::shared_ptr<ServedPlan::Ticket>> batch;
+    batch.clear();
     batch.swap(entry->pending);
     lk.unlock();
     const int bsz = static_cast<int>(batch.size());
     for (auto& t : batch) {
-      t->resp = run_one(*entry, t->req);
+      try {
+        t->resp = run_one(*entry, t->req);
+      } catch (const JsonParseError& e) {
+        t->resp = error_response(code::kBadRequest, e.what());
+      } catch (const CompilerError& e) {
+        t->resp = error_response(code::kBadRequest, e.what());
+      } catch (const EvalError& e) {
+        t->resp = error_response(code::kBadRequest, e.what());
+      } catch (const std::exception& e) {
+        t->resp = error_response(code::kInternal, e.what());
+      }
       t->batch = bsz;
     }
     lk.lock();
@@ -460,6 +504,7 @@ Json ServerCore::do_run(const Json& req) {
     }
   }
   entry->leader_active = false;
+  guard.released = true;
   Json r = ticket->resp;
   lk.unlock();
 

@@ -6,6 +6,10 @@
 // plans answer bit-identically to freshly compiled ones.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -543,6 +547,52 @@ TEST(Server, ConcurrentSamePlanRunsBatch) {
   EXPECT_GT(rs.batches, 0);
 }
 
+TEST(Server, BatchLeaderSurvivesBadRunRequests) {
+  // run_one can throw on user input (bad 'thresholds', 'tuned' with nothing
+  // published).  The leader must catch per ticket and release leadership:
+  // before the fix the exception escaped with leader_active still set, so
+  // the *next* run on the key parked forever as a follower — this test hung.
+  ServerCore core(small_opts());
+  ASSERT_TRUE(core.handle(run_req("matmul", "square")).get("ok").as_bool());
+  Json bad = run_req("matmul", "square");
+  bad.set("thresholds", "not-an-object");
+  const Json err = core.handle(bad);
+  EXPECT_FALSE(err.get("ok").as_bool());
+  EXPECT_EQ(err.get("code").as_string(), "bad-request");
+  Json tuned = run_req("matmul", "square");
+  tuned.set("tuned", true);
+  const Json err2 = core.handle(tuned);
+  EXPECT_FALSE(err2.get("ok").as_bool());
+  EXPECT_EQ(err2.get("code").as_string(), "bad-request");
+  // The key is not wedged: leadership was released on every error path.
+  const Json good = core.handle(run_req("matmul", "square"));
+  EXPECT_TRUE(good.get("ok").as_bool());
+}
+
+TEST(Server, BadFollowerRequestFailsOnlyItsOwnTicket) {
+  // A leader executing a follower's bad request must attach the error to
+  // that follower's ticket, not surface it as its own failure or abort the
+  // batch.  Hammer good and bad requests concurrently: every bad request
+  // answers bad-request, every good one answers ok.
+  ServerCore core(small_opts());
+  ASSERT_TRUE(core.handle(run_req("matmul", "square")).get("ok").as_bool());
+  std::atomic<int> misattributed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      const bool bad = (t % 2) == 0;
+      for (int i = 0; i < 25; ++i) {
+        Json req = run_req("matmul", "square");
+        if (bad) req.set("thresholds", "not-an-object");
+        const Json r = core.handle(req);
+        if (r.get("ok").as_bool() == bad) ++misattributed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(misattributed.load(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Property: cache-served plans are bit-identical to fresh compiles
 // ---------------------------------------------------------------------------
@@ -659,6 +709,48 @@ TEST(Socket, ShutdownOpAcksThenStopsTheLoop) {
     EXPECT_TRUE(resp.get("shutdown").as_bool());
   }
   loop.join();  // the loop exited because of the op, not stop()
+}
+
+TEST(Socket, ProtocolErrorDrainsAfterInflightResponses) {
+  // A slow request (a real run through the scheduler) followed in the same
+  // burst by a poisoned length prefix: the protocol error must take the next
+  // sequence number and drain *after* the run's response — the documented
+  // in-order guarantee holds through the connection's final frames.
+  const serve::Endpoint ep =
+      serve::parse_endpoint("unix:/tmp/incflat_test_poison.sock");
+  SocketFixture fx(ep);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string bytes = serve::encode_frame(run_req("matmul", "square").str(-1));
+  bytes.append("\xff\xff\xff\xff", 4);  // hostile 4 GiB length prefix
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  std::string got;
+  char buf[4096];
+  for (;;) {  // the server closes the connection once both responses drain
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    got.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  FrameReader r;
+  r.feed(got);
+  std::string payload;
+  ASSERT_TRUE(r.next(&payload));
+  const Json first = Json::parse(payload);
+  EXPECT_TRUE(first.get("ok").as_bool());
+  EXPECT_GT(first.get("time_us").as_double(), 0);
+  ASSERT_TRUE(r.next(&payload));
+  const Json second = Json::parse(payload);
+  EXPECT_FALSE(second.get("ok").as_bool());
+  EXPECT_EQ(second.get("code").as_string(), "protocol");
+  EXPECT_FALSE(r.next(&payload));
+  EXPECT_EQ(r.pending(), 0u);
 }
 
 TEST(Socket, EndpointParsing) {
