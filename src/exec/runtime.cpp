@@ -393,6 +393,7 @@ bool TieredRuntime::run_specialized(TieredOutcome& t,
 TieredOutcome TieredRuntime::run(const SizeEnv& sizes,
                                  const ThresholdEnv& thresholds,
                                  FaultPlan& faults) {
+  const sync::ExclusiveRegion::Scope excl(excl_);
   TieredOutcome t;
   if (plan_.legacy_fallback) {
     t.run = run_with_faults(dev_, plan_, sizes, thresholds, faults,

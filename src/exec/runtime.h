@@ -47,6 +47,7 @@
 #include "src/gpusim/faults.h"
 #include "src/plan/specialize.h"
 #include "src/support/diag.h"
+#include "src/support/sync.h"
 
 namespace incflat {
 
@@ -164,6 +165,10 @@ struct TieredOutcome {
 
 /// Profile-guided two-tier executor for one plan on one device.  Not
 /// thread-safe; holds a reference to the plan (caller keeps it alive).
+/// "Not thread-safe" is *enforced*, not just documented: run() enters a
+/// sync::ExclusiveRegion, so two threads racing into one runtime — the bug
+/// shape the serve layer's batch-leader protocol exists to prevent — fail
+/// loudly with std::logic_error instead of corrupting profile state.
 class TieredRuntime {
  public:
   TieredRuntime(const DeviceProfile& dev, const KernelPlan& plan,
@@ -221,6 +226,9 @@ class TieredRuntime {
   // Dispatch state for (spec_, cache_): verdict + precompiled schedule,
   // rebuilt only when the shape or the specialization changes.
   std::unique_ptr<spesh::SpecDispatch> dispatch_;
+  // Detects concurrent run() entry (this class is single-threaded by
+  // contract); zero cost beyond one atomic exchange per run.
+  sync::ExclusiveRegion excl_{"TieredRuntime"};
 };
 
 }  // namespace incflat

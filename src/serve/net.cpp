@@ -14,17 +14,21 @@
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
+#include <system_error>
 #include <vector>
 
 #include "src/support/error.h"
+#include "src/support/sync.h"
 
 namespace incflat::serve {
 
 namespace {
 
 [[noreturn]] void sys_fail(const std::string& what) {
-  throw IoError(what + ": " + std::strerror(errno));
+  // std::strerror is not thread-safe (clang-tidy concurrency-mt-unsafe);
+  // error_code::message() allocates its own buffer.
+  throw IoError(
+      what + ": " + std::error_code(errno, std::generic_category()).message());
 }
 
 void set_nonblocking(int fd) {
@@ -125,8 +129,8 @@ namespace {
 /// (possibly a scheduler worker) frees it.
 struct DoneQueue {
   int wake_r = -1, wake_w = -1;
-  std::mutex mu;
-  std::deque<std::tuple<uint64_t, uint64_t, std::string>> q;
+  sync::Mutex mu{"serve.done_queue"};
+  std::deque<std::tuple<uint64_t, uint64_t, std::string>> q GUARDED_BY(mu);
 
   DoneQueue() {
     int pipefd[2];
@@ -149,7 +153,7 @@ struct DoneQueue {
 
   void push(uint64_t conn_id, uint64_t seq, std::string payload) {
     {
-      std::lock_guard<std::mutex> lk(mu);
+      sync::MutexLock lk(mu);
       q.emplace_back(conn_id, seq, std::move(payload));
     }
     wake();
@@ -358,7 +362,7 @@ struct ServeSocket::Impl {
   void drain_done() {
     std::deque<std::tuple<uint64_t, uint64_t, std::string>> batch;
     {
-      std::lock_guard<std::mutex> lk(dq->mu);
+      sync::MutexLock lk(dq->mu);
       batch.swap(dq->q);
     }
     for (auto& [conn_id, seq, payload] : batch) {
@@ -407,7 +411,7 @@ struct ServeSocket::Impl {
           continue;
         }
         if (p.revents & POLLOUT) flush(ids[i], *conn);
-        if (conns.count(ids[i]) && (p.revents & (POLLIN | POLLHUP)))
+        if (conns.contains(ids[i]) && (p.revents & (POLLIN | POLLHUP)))
           on_readable(ids[i], conn);
       }
     }

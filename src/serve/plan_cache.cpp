@@ -22,7 +22,7 @@ PlanCache::Shard& PlanCache::shard_for(const std::string& key) {
 std::shared_ptr<CacheValue> PlanCache::find(const std::string& key,
                                             bool count) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) {
     if (count) {
@@ -58,7 +58,7 @@ std::shared_ptr<CacheValue> PlanCache::insert(const std::string& key,
                                               std::shared_ptr<CacheValue> value,
                                               size_t bytes) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   auto it = s.index.find(key);
   if (it != s.index.end()) {
     // Lost a compile race: the first insert wins so every requester shares
@@ -76,7 +76,7 @@ std::shared_ptr<CacheValue> PlanCache::insert(const std::string& key,
 
 bool PlanCache::erase(const std::string& key) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) return false;
   s.bytes -= it->second->bytes;
@@ -89,7 +89,7 @@ bool PlanCache::erase(const std::string& key) {
 
 void PlanCache::clear() {
   for (auto& sp : shards_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    sync::MutexLock lk(sp->mu);
     sp->lru.clear();
     sp->index.clear();
     sp->bytes = 0;
@@ -103,7 +103,7 @@ CacheStats PlanCache::stats() const {
   st.evictions = evictions_.load(std::memory_order_relaxed);
   st.inserts = inserts_.load(std::memory_order_relaxed);
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    sync::MutexLock lk(sp->mu);
     st.bytes += sp->bytes;
     st.entries += sp->lru.size();
   }

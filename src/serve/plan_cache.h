@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/support/sync.h"
 
 namespace incflat::serve {
 
@@ -85,15 +86,16 @@ class PlanCache {
     size_t bytes = 0;
   };
   struct Shard {
-    std::mutex mu;
+    sync::Mutex mu{"serve.cache_shard"};
     // Most-recently-used at the front; eviction pops from the back.
-    std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const std::string& key);
-  void evict_locked(Shard& s, size_t need);
+  void evict_locked(Shard& s, size_t need) REQUIRES(s.mu);
 
   size_t byte_budget_;
   size_t shard_budget_;  // byte_budget_ / shards (0 = unlimited)

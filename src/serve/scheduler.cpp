@@ -38,7 +38,7 @@ JobScheduler::JobScheduler(int workers, double promote_after_ms)
 
 JobScheduler::~JobScheduler() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     for (auto& q : queues_) {
       std::deque<std::shared_ptr<Job>> drained;
       drained.swap(q);
@@ -69,7 +69,7 @@ uint64_t JobScheduler::submit(JobFn fn, JobPriority pri,
                       static_cast<int64_t>(queue_timeout_ms * 1000.0))
           : Clock::time_point::max();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     job->id = next_id_++;
     queues_[static_cast<int>(pri)].push_back(job);
     jobs_.emplace(job->id, job);
@@ -83,7 +83,7 @@ uint64_t JobScheduler::submit(JobFn fn, JobPriority pri,
 }
 
 bool JobScheduler::cancel(uint64_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   // By value: finish_locked erases the jobs_ entry, and with the queue's
@@ -158,11 +158,12 @@ void JobScheduler::finish_locked(const std::shared_ptr<Job>& job, JobState st) {
 }
 
 void JobScheduler::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  sync::UniqueLock lk(mu_);
   for (;;) {
-    cv_work_.wait(lk, [&] {
-      return stop_ || stats_.queued > 0;
-    });
+    // Explicit loop instead of a predicate lambda: clang's thread-safety
+    // analysis is intraprocedural and would treat the lambda as a separate,
+    // lock-free function reading guarded state.
+    while (!stop_ && stats_.queued == 0) cv_work_.wait(mu_);
     if (stop_) return;
     std::shared_ptr<Job> job = pick_locked(Clock::now());
     if (!job) continue;  // everything queued had expired
@@ -187,12 +188,12 @@ void JobScheduler::worker_loop() {
 }
 
 JobState JobScheduler::wait(uint64_t id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   // Not gated on stop_: shutdown cancels queued jobs (erasing them from
   // jobs_ under this mutex) and workers finish running jobs before joining,
   // so every submitted id still leaves jobs_ — returning early on stop_
   // would report a still-Running job as Done and swallow its exception.
-  cv_done_.wait(lk, [&] { return jobs_.find(id) == jobs_.end(); });
+  while (jobs_.find(id) != jobs_.end()) cv_done_.wait(mu_);
   auto it = finished_.find(id);
   if (it == finished_.end()) return JobState::Done;  // reaped long ago
   const Finished fin = it->second;
@@ -202,7 +203,7 @@ JobState JobScheduler::wait(uint64_t id) {
 }
 
 SchedulerStats JobScheduler::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   return stats_;
 }
 

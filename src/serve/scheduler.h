@@ -27,16 +27,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/support/sync.h"
 
 namespace incflat::serve {
 
@@ -93,21 +93,22 @@ class JobScheduler {
   /// Enqueue a job; returns its id (monotonic from 1).  `queue_timeout_ms`
   /// > 0 expires the job if no worker has started it within that long.
   uint64_t submit(JobFn fn, JobPriority pri = JobPriority::Normal,
-                  double queue_timeout_ms = 0, DropFn on_drop = nullptr);
+                  double queue_timeout_ms = 0, DropFn on_drop = nullptr)
+      EXCLUDES(mu_);
 
   /// Unschedule a queued job (true) or flag a running one for cooperative
   /// cancellation (false — it still runs to wherever it checks the flag;
   /// wait() reports its final state).  False for finished/unknown ids too.
-  bool cancel(uint64_t id);
+  bool cancel(uint64_t id) EXCLUDES(mu_);
 
   /// Block until the job reached a terminal state; rethrows the job's
   /// exception if it Failed.  Returns the terminal state.  Ids are
   /// remembered until waited on exactly once (a second wait on the same id
   /// returns Done immediately).
-  JobState wait(uint64_t id);
+  JobState wait(uint64_t id) EXCLUDES(mu_);
 
   int width() const { return static_cast<int>(threads_.size()); }
-  SchedulerStats stats() const;
+  SchedulerStats stats() const EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -124,11 +125,12 @@ class JobScheduler {
     std::exception_ptr error;
   };
 
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
   /// Highest-effective-priority oldest queued job, honoring expiry; null
-  /// when the queue is empty.  Called with mu_ held.
-  std::shared_ptr<Job> pick_locked(Clock::time_point now);
-  void finish_locked(const std::shared_ptr<Job>& job, JobState st);
+  /// when the queue is empty.
+  std::shared_ptr<Job> pick_locked(Clock::time_point now) REQUIRES(mu_);
+  void finish_locked(const std::shared_ptr<Job>& job, JobState st)
+      REQUIRES(mu_);
 
   /// Terminal record kept for wait(): bounded (oldest-dropped), since the
   /// daemon's socket layer consumes results via callbacks and never waits.
@@ -137,16 +139,17 @@ class JobScheduler {
     std::exception_ptr error;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_, cv_done_;
+  mutable sync::Mutex mu_{"serve.scheduler"};
+  sync::CondVar cv_work_, cv_done_;
   std::vector<std::thread> threads_;
-  std::deque<std::shared_ptr<Job>> queues_[3];     // by JobPriority
-  std::map<uint64_t, std::shared_ptr<Job>> jobs_;  // queued + running
-  std::map<uint64_t, Finished> finished_;
-  uint64_t next_id_ = 1;
+  std::deque<std::shared_ptr<Job>> queues_[3] GUARDED_BY(mu_);  // by priority
+  // Queued + running, by id.
+  std::map<uint64_t, std::shared_ptr<Job>> jobs_ GUARDED_BY(mu_);
+  std::map<uint64_t, Finished> finished_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
   double promote_after_ms_;
-  bool stop_ = false;
-  SchedulerStats stats_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  SchedulerStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace incflat::serve

@@ -1,7 +1,6 @@
 #include "src/serve/server.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <sstream>
 #include <utility>
@@ -113,17 +112,25 @@ struct ServerCore::ServedPlan : CacheValue {
   std::unique_ptr<TieredRuntime> rt;
   FaultPlan faults;
 
+  // Ticket fields are deliberately *not* GUARDED_BY(mu): ownership is
+  // phased, not locked.  Until done flips, only the leader writes (under
+  // mu); once done, only the waiting follower reads — the leader never
+  // touches a finished ticket again.  The flip itself happens under mu.
   struct Ticket {
     Json req;
     Json resp;
     int batch = 0;  // members of the batch that answered this ticket
     bool done = false;
   };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::shared_ptr<Ticket>> pending;
-  bool leader_active = false;
+  sync::Mutex mu{"serve.entry"};
+  sync::CondVar cv;
+  std::deque<std::shared_ptr<Ticket>> pending GUARDED_BY(mu);
+  bool leader_active GUARDED_BY(mu) = false;
 };
+
+namespace testing {
+std::atomic<void (*)()> batch_abort_hook{nullptr};
+}  // namespace testing
 
 ServerCore::ServerCore(ServeOptions opts)
     : opts_(std::move(opts)),
@@ -141,7 +148,7 @@ JobPriority ServerCore::priority_for(const std::string& op) {
 }
 
 RequestStats ServerCore::request_stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  sync::MutexLock lk(stats_mu_);
   return rstats_;
 }
 
@@ -151,7 +158,7 @@ std::string ServerCore::handle_text(const std::string& payload) {
     req = Json::parse(payload);
   } catch (const JsonParseError& e) {
     {
-      std::lock_guard<std::mutex> lk(stats_mu_);
+      sync::MutexLock lk(stats_mu_);
       ++rstats_.total;
       ++rstats_.errors;
     }
@@ -177,7 +184,7 @@ Json ServerCore::handle(const Json& request) {
   }
   echo_id(request, resp);
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     ++rstats_.total;
     const Json* ok = resp.find("ok");
     if (!ok || !ok->is_bool() || !ok->as_bool()) ++rstats_.errors;
@@ -225,7 +232,7 @@ std::shared_ptr<ServerCore::ServedPlan> ServerCore::lookup_or_compile(
     // The shape fingerprint needs the dataset's SizeEnv, which lives on the
     // Benchmark; memoise it so warm-path lookups skip get_benchmark().
     {
-      std::lock_guard<std::mutex> lk(shapes_mu_);
+      sync::ReaderMutexLock lk(shapes_mu_);
       auto it = shapes_.find(benchmark + "|" + dataset);
       if (it != shapes_.end()) sizes = it->second;
     }
@@ -246,7 +253,7 @@ std::shared_ptr<ServerCore::ServedPlan> ServerCore::lookup_or_compile(
         throw CompilerError(msg);
       }
       sizes = found->sizes;
-      std::lock_guard<std::mutex> lk(shapes_mu_);
+      sync::WriterMutexLock lk(shapes_mu_);
       shapes_.emplace(benchmark + "|" + dataset, sizes);
     }
     key += "|";
@@ -323,7 +330,7 @@ std::shared_ptr<ServerCore::ServedPlan> ServerCore::lookup_or_compile(
 
 Json ServerCore::do_compile(const Json& req) {
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     ++rstats_.compiles;
   }
   const std::string& bench = req_string(req, "benchmark");
@@ -363,7 +370,7 @@ Json ServerCore::run_one(ServedPlan& entry, const Json& req) {
              tuned && tuned->is_bool() && tuned->as_bool()) {
     const std::string pkey =
         program_key(entry.benchmark, entry.mode, entry.device);
-    std::lock_guard<std::mutex> lk(tuned_mu_);
+    sync::MutexLock lk(tuned_mu_);
     auto it = tuned_.find(pkey);
     if (it == tuned_.end())
       throw CompilerError("no tuned thresholds published for " + pkey +
@@ -402,7 +409,7 @@ Json ServerCore::run_one(ServedPlan& entry, const Json& req) {
 
 Json ServerCore::do_run(const Json& req) {
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     ++rstats_.runs;
   }
   const std::string& bench = req_string(req, "benchmark");
@@ -417,16 +424,18 @@ Json ServerCore::do_run(const Json& req) {
   auto ticket = std::make_shared<ServedPlan::Ticket>();
   ticket->req = req;
 
-  std::unique_lock<std::mutex> lk(entry->mu);
+  sync::UniqueLock lk(entry->mu);
   entry->pending.push_back(ticket);
   if (entry->leader_active) {
     // Follower: a leader is already draining this entry's queue; it will
-    // execute our request in its next batch and wake us.
-    entry->cv.wait(lk, [&] { return ticket->done; });
+    // execute our request in its next batch and wake us.  Explicit loop
+    // instead of a predicate lambda so the thread-safety analysis sees the
+    // guarded read under the lock it requires.
+    while (!ticket->done) entry->cv.wait(entry->mu);
     Json r = ticket->resp;
     lk.unlock();
     {
-      std::lock_guard<std::mutex> slk(stats_mu_);
+      sync::MutexLock slk(stats_mu_);
       ++rstats_.batched_runs;
     }
     r.set("cached", cached);
@@ -452,7 +461,7 @@ Json ServerCore::do_run(const Json& req) {
   std::deque<std::shared_ptr<ServedPlan::Ticket>> batch;
   struct LeaderGuard {
     ServedPlan& e;
-    std::unique_lock<std::mutex>& lk;
+    sync::UniqueLock& lk;
     std::deque<std::shared_ptr<ServedPlan::Ticket>>& batch;
     bool released = false;
     static void fail(ServedPlan::Ticket& t) {
@@ -460,7 +469,10 @@ Json ServerCore::do_run(const Json& req) {
       t.resp = error_response(code::kInternal, "batch leader aborted");
       t.done = true;
     }
-    ~LeaderGuard() {
+    // The conditional re-lock is invisible to the (intraprocedural,
+    // owns_lock-blind) thread-safety analysis; correctness here is covered
+    // by the leader-abort regression test instead.
+    ~LeaderGuard() NO_THREAD_SAFETY_ANALYSIS {
       if (released) return;
       try {
         if (!lk.owns_lock()) lk.lock();
@@ -479,6 +491,10 @@ Json ServerCore::do_run(const Json& req) {
     batch.clear();
     batch.swap(entry->pending);
     lk.unlock();
+    if (auto* hook =
+            testing::batch_abort_hook.load(std::memory_order_relaxed)) {
+      hook();  // outside the per-ticket barriers: simulates a leader abort
+    }
     const int bsz = static_cast<int>(batch.size());
     for (auto& t : batch) {
       try {
@@ -499,7 +515,7 @@ Json ServerCore::do_run(const Json& req) {
     entry->cv.notify_all();
     if (bsz > 1) {
       if (trace::enabled()) trace::count("serve.batches");
-      std::lock_guard<std::mutex> slk(stats_mu_);
+      sync::MutexLock slk(stats_mu_);
       ++rstats_.batches;
     }
   }
@@ -516,7 +532,7 @@ Json ServerCore::do_run(const Json& req) {
 
 Json ServerCore::do_tune(const Json& req) {
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     ++rstats_.tunes;
   }
   const std::string& bench = req_string(req, "benchmark");
@@ -555,7 +571,7 @@ Json ServerCore::do_tune(const Json& req) {
 
   const std::string pkey = program_key(bench, mode, device);
   {
-    std::lock_guard<std::mutex> lk(tuned_mu_);
+    sync::MutexLock lk(tuned_mu_);
     tuned_[pkey] = rep.best.values;
   }
 
@@ -579,7 +595,7 @@ Json ServerCore::do_stats() {
   const SchedulerStats ss = sched_.stats();
   const RequestStats rs = request_stats();
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     ++rstats_.stats_calls;
   }
 

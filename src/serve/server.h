@@ -43,7 +43,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/gpusim/faults.h"
@@ -51,6 +50,7 @@
 #include "src/serve/protocol.h"
 #include "src/serve/scheduler.h"
 #include "src/support/json.h"
+#include "src/support/sync.h"
 
 namespace incflat::serve {
 
@@ -106,7 +106,7 @@ class ServerCore {
   PlanCache& cache() { return cache_; }
   JobScheduler& scheduler() { return sched_; }
   const ServeOptions& options() const { return opts_; }
-  RequestStats request_stats() const;
+  RequestStats request_stats() const EXCLUDES(stats_mu_);
 
  private:
   struct ServedPlan;
@@ -134,16 +134,19 @@ class ServerCore {
   PlanCache cache_;
 
   /// Published tuned thresholds per program key ("tuned":true runs).
-  std::mutex tuned_mu_;
-  std::map<std::string, std::map<std::string, int64_t>> tuned_;
+  sync::Mutex tuned_mu_{"serve.tuned"};
+  std::map<std::string, std::map<std::string, int64_t>> tuned_
+      GUARDED_BY(tuned_mu_);
 
   /// Memoised dataset shapes ("bench|dataset" -> SizeEnv), so warm-path run
   /// lookups never pay get_benchmark() just to compute the cache key.
-  std::mutex shapes_mu_;
-  std::map<std::string, std::map<std::string, int64_t>> shapes_;
+  /// Reader/writer: the warm path only reads; a miss upgrades to a writer.
+  sync::SharedMutex shapes_mu_{"serve.shapes"};
+  std::map<std::string, std::map<std::string, int64_t>> shapes_
+      GUARDED_BY(shapes_mu_);
 
-  mutable std::mutex stats_mu_;
-  RequestStats rstats_;
+  mutable sync::Mutex stats_mu_{"serve.stats"};
+  RequestStats rstats_ GUARDED_BY(stats_mu_);
 
   /// Declared LAST on purpose: the scheduler's destructor joins workers
   /// whose jobs call handle(), which touches every member above — member
@@ -157,5 +160,15 @@ class ServerCore {
 std::string program_key(const std::string& benchmark, const std::string& mode,
                         const std::string& device);
 std::string shape_fingerprint(const std::map<std::string, int64_t>& sizes);
+
+namespace testing {
+/// Misuse-injection hook for regression tests: a batch leader calls it once
+/// per drained batch, *outside* the per-ticket exception barriers and with
+/// the entry mutex released.  Tests install a throwing hook to reconstruct
+/// the PR-7 "leader wedge" bug shape and assert the leader guard fails the
+/// open tickets instead of wedging the key.  Null (one relaxed atomic load)
+/// in production.
+extern std::atomic<void (*)()> batch_abort_hook;
+}  // namespace testing
 
 }  // namespace incflat::serve

@@ -29,14 +29,14 @@ WorkerPool::WorkerPool(int workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
+void WorkerPool::drain(int worker) {
   int64_t done = 0;
   // A failed task stops the dispatch of *remaining* items (in-flight tasks
   // on other workers still complete); every captured exception is kept for
@@ -44,7 +44,7 @@ void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
   while (next_ < n_ && errs_.empty()) {
     const int ix = next_++;
     const std::function<void(int)>* fn = fn_;
-    lk.unlock();
+    mu_.unlock();
     std::exception_ptr e;
     try {
       (*fn)(ix);
@@ -52,7 +52,7 @@ void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
       e = std::current_exception();
     }
     ++done;
-    lk.lock();
+    mu_.lock();
     if (e) {
       errs_.push_back(e);
       next_ = n_;  // cancel undispatched items for all workers
@@ -66,14 +66,14 @@ void WorkerPool::drain(std::unique_lock<std::mutex>& lk, int worker) {
 }
 
 void WorkerPool::worker_loop(int worker) {
-  std::unique_lock<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   uint64_t seen = 0;
   for (;;) {
-    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    while (!stop_ && generation_ == seen) cv_start_.wait(mu_);
     if (stop_) return;
     seen = generation_;
     ++active_;
-    drain(lk, worker);
+    drain(worker);
     --active_;
     if (active_ == 0 && next_ >= n_) cv_done_.notify_all();
   }
@@ -82,7 +82,7 @@ void WorkerPool::worker_loop(int worker) {
 void WorkerPool::run(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   trace::Span span("pool.run", "pool");
-  std::unique_lock<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (running_) {
     // Reentrant run() — from inside a task or concurrently from another
     // thread — would corrupt the batch state and deadlock; fail loudly.
@@ -96,8 +96,8 @@ void WorkerPool::run(int n, const std::function<void(int)>& fn) {
   errs_.clear();
   ++generation_;
   cv_start_.notify_all();
-  drain(lk, 0);
-  cv_done_.wait(lk, [&] { return active_ == 0 && next_ >= n_; });
+  drain(0);
+  while (!(active_ == 0 && next_ >= n_)) cv_done_.wait(mu_);
   fn_ = nullptr;
   running_ = false;
   if (!errs_.empty()) {

@@ -4,17 +4,22 @@
 // exhaustive-search candidate batches concurrently.  Work items must be
 // independent; determinism is preserved by keeping all result aggregation
 // in the caller, in item order, after run() returns.
+//
+// All shared state is guarded by the annotated sync layer
+// (src/support/sync.h): a clang -Wthread-safety build proves the locking
+// contracts, and lockdep validates the pool.mu -> trace.state acquisition
+// order at runtime.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "src/support/sync.h"
 
 namespace incflat {
 
@@ -54,26 +59,29 @@ class WorkerPool {
   /// WorkerPoolError listing them all.  Not reentrant: calling run() from
   /// inside a task (or concurrently from another thread) fails loudly with
   /// std::logic_error instead of deadlocking.
-  void run(int n, const std::function<void(int)>& fn);
+  void run(int n, const std::function<void(int)>& fn) EXCLUDES(mu_);
 
   /// Total width including the calling thread.
   int width() const { return static_cast<int>(threads_.size()) + 1; }
 
  private:
-  void worker_loop(int worker);
-  void drain(std::unique_lock<std::mutex>& lk, int worker);
+  void worker_loop(int worker) EXCLUDES(mu_);
+  /// Execute queued items until the batch is exhausted or failed; releases
+  /// mu_ around each item and re-acquires it for the shared bookkeeping.
+  void drain(int worker) REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_start_, cv_done_;
-  std::vector<std::thread> threads_;
-  const std::function<void(int)>* fn_ = nullptr;
-  int n_ = 0;
-  int next_ = 0;
-  int active_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
-  bool running_ = false;  // a run() batch is in flight (reentrancy guard)
-  std::vector<std::exception_ptr> errs_;
+  sync::Mutex mu_{"pool.mu"};
+  sync::CondVar cv_start_, cv_done_;
+  std::vector<std::thread> threads_;  // written in ctor, joined in dtor
+  const std::function<void(int)>* fn_ GUARDED_BY(mu_) = nullptr;
+  int n_ GUARDED_BY(mu_) = 0;
+  int next_ GUARDED_BY(mu_) = 0;
+  int active_ GUARDED_BY(mu_) = 0;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  // A run() batch is in flight (reentrancy guard).
+  bool running_ GUARDED_BY(mu_) = false;
+  std::vector<std::exception_ptr> errs_ GUARDED_BY(mu_);
 };
 
 }  // namespace incflat

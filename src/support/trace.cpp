@@ -3,13 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
 #include "src/support/error.h"
 #include "src/support/json.h"
 #include "src/support/str.h"
+#include "src/support/sync.h"
 #include "src/support/table.h"
 
 namespace incflat::trace {
@@ -33,28 +33,28 @@ int64_t clock_us() {
 }
 
 struct State {
-  std::mutex mu;
+  sync::Mutex mu{"trace.state"};
   // Base timestamp in raw clock microseconds.  Atomic because Span
   // construction reads it *without* the mutex (a disabled-path-cheap
   // design constraint) while reset() writes it — with a plain
   // time_point that pair is a data race under TSan.
   std::atomic<int64_t> epoch_us{clock_us()};
-  std::vector<Event> events;
+  std::vector<Event> events GUARDED_BY(mu);
   // Flushed span aggregates (flush_spans): per-name totals that survive
   // after their raw events were released, in first-recorded order.
-  std::vector<SpanStat> flushed;
-  std::map<std::string, size_t> flushed_ix;
+  std::vector<SpanStat> flushed GUARDED_BY(mu);
+  std::map<std::string, size_t> flushed_ix GUARDED_BY(mu);
   // Counters accumulate; gauges overwrite.  Insertion order is preserved
   // for stable summary/report output.
-  std::vector<std::pair<std::string, int64_t>> counters;
-  std::map<std::string, size_t> counter_ix;
-  std::map<std::thread::id, int> tids;
+  std::vector<std::pair<std::string, int64_t>> counters GUARDED_BY(mu);
+  std::map<std::string, size_t> counter_ix GUARDED_BY(mu);
+  std::map<std::thread::id, int> tids GUARDED_BY(mu);
 
   int64_t now_us() const {
     return clock_us() - epoch_us.load(std::memory_order_relaxed);
   }
 
-  int tid_of(std::thread::id id) {
+  int tid_of(std::thread::id id) REQUIRES(mu) {
     auto it = tids.find(id);
     if (it != tids.end()) return it->second;
     const int t = static_cast<int>(tids.size());
@@ -62,7 +62,8 @@ struct State {
     return t;
   }
 
-  void bump(const std::string& name, int64_t delta, bool accumulate) {
+  void bump(const std::string& name, int64_t delta, bool accumulate)
+      REQUIRES(mu) {
     auto it = counter_ix.find(name);
     if (it == counter_ix.end()) {
       counter_ix.emplace(name, counters.size());
@@ -90,7 +91,7 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void reset() {
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   s.epoch_us.store(clock_us(), std::memory_order_relaxed);
   s.events.clear();
   s.flushed.clear();
@@ -102,7 +103,7 @@ void reset() {
 
 int64_t flush_spans() {
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   const int64_t n = static_cast<int64_t>(s.events.size());
   for (const Event& e : s.events) {
     auto it = s.flushed_ix.find(e.name);
@@ -129,7 +130,7 @@ Span::~Span() {
   if (start_us_ < 0 || !enabled()) return;
   State& s = state();
   const int64_t end = s.now_us();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   s.events.push_back(Event{name_, category_,
                            s.tid_of(std::this_thread::get_id()), start_us_,
                            end - start_us_});
@@ -138,20 +139,20 @@ Span::~Span() {
 void count(const std::string& name, int64_t delta) {
   if (!enabled()) return;
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   s.bump(name, delta, /*accumulate=*/true);
 }
 
 void gauge(const std::string& name, int64_t value) {
   if (!enabled()) return;
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   s.bump(name, value, /*accumulate=*/false);
 }
 
 std::vector<SpanStat> span_stats() {
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   std::vector<SpanStat> out = s.flushed;
   std::map<std::string, size_t> ix;
   for (size_t i = 0; i < out.size(); ++i) ix.emplace(out[i].name, i);
@@ -170,7 +171,7 @@ std::vector<SpanStat> span_stats() {
 
 std::map<std::string, int64_t> counters() {
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   return {s.counters.begin(), s.counters.end()};
 }
 
@@ -185,7 +186,7 @@ std::vector<std::string> counter_namespaces() {
 
 std::string chrome_json() {
   State& s = state();
-  std::lock_guard<std::mutex> lk(s.mu);
+  sync::MutexLock lk(s.mu);
   Json events = Json::array();
   int64_t last_ts = 0;
   for (const Event& e : s.events) {
@@ -229,7 +230,7 @@ void print_summary(std::ostream& os) {
   State& s = state();
   std::vector<std::pair<std::string, int64_t>> counts;
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    sync::MutexLock lk(s.mu);
     counts = s.counters;
   }
   if (!spans.empty()) {

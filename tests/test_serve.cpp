@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "src/serve/server.h"
 #include "src/support/error.h"
 #include "src/support/json.h"
+#include "src/support/sync.h"
 
 namespace incflat {
 namespace {
@@ -45,6 +47,34 @@ using serve::ServeClient;
 using serve::ServeOptions;
 using serve::ServerCore;
 using serve::ServeSocket;
+
+// ---------------------------------------------------------------------------
+// Lockdep certification: the whole suite — every cache, scheduler, server
+// and socket test — runs with the lock-order validator on, and the suite
+// fails if any test drove the serve layer through an order inversion.  This
+// is the machine-checked form of DESIGN.md's sanctioned acquisition order.
+// ---------------------------------------------------------------------------
+
+class LockdepEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    sync::lockdep::reset();
+    sync::lockdep::set_enabled(true);
+  }
+  void TearDown() override {
+    const auto violations = sync::lockdep::violations();
+    for (const auto& v : violations) {
+      ADD_FAILURE() << "lock-order inversion in serve suite: " << v.str();
+    }
+    const auto st = sync::lockdep::stats();
+    EXPECT_GT(st.acquisitions, 0) << "lockdep saw no acquisitions — is the "
+                                     "serve layer still on sync::Mutex?";
+    sync::lockdep::set_enabled(false);
+  }
+};
+
+const auto* const kLockdepEnv =
+    ::testing::AddGlobalTestEnvironment(new LockdepEnvironment);
 
 // ---------------------------------------------------------------------------
 // Frame codec
@@ -591,6 +621,158 @@ TEST(Server, BadFollowerRequestFailsOnlyItsOwnTicket) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(misattributed.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded concurrency stress: the PR-7 bug shapes, reconstructed
+// ---------------------------------------------------------------------------
+
+/// Cache payload that poisons itself on destruction: any reader observing
+/// the poison dereferenced an entry after the cache's last reference died —
+/// the eviction-use-after-free shape.  The atomic makes the check itself
+/// race-free under TSan.
+struct Canary : CacheValue {
+  explicit Canary(uint64_t v) : value(v) {}
+  ~Canary() override { value.store(0xdeadbeefdeadbeefULL); }
+  std::atomic<uint64_t> value;
+};
+
+TEST(CacheStress, EvictionWhileReferencedSeeded) {
+  // A tiny budget forces constant eviction while readers hold and
+  // dereference entries across the eviction: shared_ptr pinning is the only
+  // thing between this test and a use-after-free.  Fixed seeds make every
+  // thread's key/hold schedule reproducible.
+  PlanCache cache(2 * 1024, 4);  // ~16 resident entries of 128 bytes
+  constexpr int kThreads = 4;
+  constexpr int kIters = 800;
+  constexpr int kKeys = 64;
+  std::atomic<int64_t> poisoned{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(t));
+      std::shared_ptr<Canary> held;  // reference surviving evictions
+      uint64_t held_key = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t k = rng() % kKeys;
+        const std::string key = "stress-" + std::to_string(k);
+        auto got = std::static_pointer_cast<Canary>(cache.find(key));
+        if (!got) {
+          got = std::static_pointer_cast<Canary>(
+              cache.insert(key, std::make_shared<Canary>(k), 128));
+        }
+        if (got->value.load() != k) ++poisoned;
+        if (rng() % 4 == 0) {
+          held = got;  // hold this one across future evictions
+          held_key = k;
+        }
+        if (held && held->value.load() != held_key) ++poisoned;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(poisoned.load(), 0);
+  const CacheStats s = cache.stats();
+  EXPECT_GT(s.evictions, 0) << "budget never forced eviction — the stress "
+                               "did not exercise the bug shape";
+  EXPECT_LE(s.bytes, 2u * 1024u);
+}
+
+TEST(SchedulerStress, CancelVsFinishRaceSeeded) {
+  // The PR-7 use-after-free: cancel() raced a worker finishing the same
+  // job, and finish_locked dropping the jobs_ entry could free the Job out
+  // from under cancel's reference.  Hammer exactly that window — submit
+  // fast jobs while a seeded canceller fires at random ids — and check the
+  // terminal-state accounting balances: every submitted job ends exactly
+  // one of executed / cancelled / expired, nothing is lost or doubled.
+  constexpr int kJobs = 600;
+  std::atomic<int64_t> ran{0};
+  std::atomic<int64_t> dropped{0};
+  std::vector<uint64_t> ids;
+  ids.reserve(kJobs);
+  {
+    JobScheduler sched(3, /*promote_after_ms=*/0);
+    std::mt19937 rng(0xABCDu);
+    for (int i = 0; i < kJobs; ++i) {
+      ids.push_back(sched.submit(
+          [&](JobContext&) { ran.fetch_add(1, std::memory_order_relaxed); },
+          JobPriority::Normal, 0,
+          [&](JobState) { dropped.fetch_add(1, std::memory_order_relaxed); }));
+      // Fire cancels into the racing window: some hit queued jobs, some hit
+      // running ones, some hit already-finished ids — all must be safe.
+      if (i % 3 == 0) sched.cancel(ids[rng() % ids.size()]);
+    }
+    for (uint64_t id : ids) {
+      const JobState st = sched.wait(id);
+      EXPECT_TRUE(st == JobState::Done || st == JobState::Cancelled)
+          << job_state_name(st);
+    }
+    const serve::SchedulerStats st = sched.stats();
+    EXPECT_EQ(st.submitted, kJobs);
+    EXPECT_EQ(st.executed + st.cancelled + st.expired, kJobs);
+    EXPECT_EQ(st.queued, 0);
+    EXPECT_EQ(st.running, 0);
+    EXPECT_EQ(st.failed, 0);
+    EXPECT_EQ(ran.load(), st.executed);
+    EXPECT_EQ(dropped.load(), st.cancelled + st.expired);
+  }
+  EXPECT_EQ(ran.load() + dropped.load(), kJobs);
+}
+
+TEST(Server, LeaderAbortFailsTicketsOpenAndRecovers) {
+  // Misuse-hook reconstruction of the PR-7 leader-wedge: the batch hook
+  // throws outside the per-ticket barriers, exactly where an unforeseen
+  // exception escaped the drain loop before the LeaderGuard existed.  The
+  // guard must fail the open tickets (error responses, not hangs) and
+  // release leadership so the key serves again.  Before the guard, the
+  // *second* request here parked forever as a follower of a dead leader.
+  ServerCore core(small_opts());
+  ASSERT_TRUE(core.handle(run_req("matmul", "square")).get("ok").as_bool());
+
+  static std::atomic<int> aborts_left{2};
+  serve::testing::batch_abort_hook.store(+[] {
+    if (aborts_left.fetch_sub(1) > 0)
+      throw std::runtime_error("injected leader abort");
+  });
+  const Json aborted = core.handle(run_req("matmul", "square"));
+  EXPECT_FALSE(aborted.get("ok").as_bool());
+  serve::testing::batch_abort_hook.store(nullptr);
+
+  // Not wedged: leadership was released by the guard, a new leader runs.
+  const Json after = core.handle(run_req("matmul", "square"));
+  EXPECT_TRUE(after.get("ok").as_bool());
+}
+
+TEST(Server, LeaderAbortFailsConcurrentFollowersOpen) {
+  // Same injection under concurrency: every request racing the aborted
+  // batch must come back *answered* — ok, or an injected/aborted error —
+  // and the key must serve normally afterwards.  A wedge shows up as this
+  // test hanging (followers waiting on a cv nobody will signal).
+  ServerCore core(small_opts());
+  ASSERT_TRUE(core.handle(run_req("matmul", "square")).get("ok").as_bool());
+
+  static std::atomic<int> hook_aborts{3};
+  serve::testing::batch_abort_hook.store(+[] {
+    if (hook_aborts.fetch_sub(1) > 0)
+      throw std::runtime_error("injected leader abort");
+  });
+  std::atomic<int> answered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        const Json r = core.handle(run_req("matmul", "square"));
+        ASSERT_TRUE(r.find("ok") != nullptr);
+        ++answered;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  serve::testing::batch_abort_hook.store(nullptr);
+  EXPECT_EQ(answered.load(), 60);
+  const Json after = core.handle(run_req("matmul", "square"));
+  EXPECT_TRUE(after.get("ok").as_bool());
 }
 
 // ---------------------------------------------------------------------------

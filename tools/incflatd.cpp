@@ -18,6 +18,7 @@
 #include "src/serve/net.h"
 #include "src/serve/server.h"
 #include "src/support/error.h"
+#include "src/support/sync.h"
 #include "src/support/trace.h"
 
 using namespace incflat;
@@ -28,6 +29,7 @@ struct Options {
   std::string listen = "unix:/tmp/incflatd.sock";
   serve::ServeOptions serve;
   bool trace = false;
+  bool lockdep = false;      // runtime lock-order validation
   bool print_ready = false;  // print "READY <endpoint>" once listening
 };
 
@@ -54,6 +56,11 @@ int usage(FILE* to) {
                "  --tune-timeout MS  drop tune jobs queued longer than MS\n"
                "  --trace            enable the trace layer (stats op "
                "reports spans)\n"
+               "  --lockdep          enable runtime lock-order validation "
+               "(also INCFLAT_LOCKDEP=1);\n"
+               "                     inversions print on detection and a "
+               "shutdown report\n"
+               "                     fails the exit status\n"
                "  --ready            print 'READY <endpoint>' on stdout "
                "once listening\n");
   return to == stdout ? 0 : 2;
@@ -99,6 +106,8 @@ int main(int argc, char** argv) {
       opt.serve.tune_queue_timeout_ms = std::atof(next());
     } else if (arg == "--trace") {
       opt.trace = true;
+    } else if (arg == "--lockdep") {
+      opt.lockdep = true;
     } else if (arg == "--ready") {
       opt.print_ready = true;
     } else {
@@ -106,6 +115,10 @@ int main(int argc, char** argv) {
       return usage(stderr);
     }
   }
+
+  // Env first (deploy-wide default), flag second (per-instance override).
+  sync::lockdep::enable_from_env();
+  if (opt.lockdep) sync::lockdep::set_enabled(true);
 
   try {
     if (opt.trace) trace::set_enabled(true);
@@ -123,6 +136,21 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
     sock.serve_forever();
+    // Shutdown certification: a clean run under --lockdep proves this
+    // instance's whole traffic mix never closed an ordering cycle.  Any
+    // inversion was already printed at detection time; summarize and fail.
+    if (sync::lockdep::enabled()) {
+      sync::lockdep::publish_trace_counters();
+      const auto ls = sync::lockdep::stats();
+      std::fprintf(stderr,
+                   "incflatd: lockdep: %lld classes, %lld edges, %lld "
+                   "acquisitions, %lld violation(s)\n",
+                   static_cast<long long>(ls.classes),
+                   static_cast<long long>(ls.edges),
+                   static_cast<long long>(ls.acquisitions),
+                   static_cast<long long>(ls.violations));
+      if (ls.violations > 0) return 1;
+    }
     return 0;
   } catch (const IoError& e) {
     std::fprintf(stderr, "incflatd: %s\n", e.what());

@@ -23,14 +23,21 @@
 // fault degradation, and that specialized-tier estimates stay bit-identical
 // to the tree's.
 //
+// A serve phase drives a fault-injected ServerCore from concurrent threads
+// — the daemon minus its sockets — with the lockdep lock-order validator
+// on for the whole soak; the run fails if any acquisition anywhere closed
+// an ordering cycle, certifying the daemon's lock hierarchy acyclic.
+//
 // Exit code 0 only when every check passes — CI runs this under
 // ASan+UBSan, so memory errors in the fault paths also fail the job.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/autotune/autotune.h"
@@ -40,7 +47,11 @@
 #include "src/exec/runtime.h"
 #include "src/gpusim/faults.h"
 #include "src/plan/plan.h"
+#include "src/serve/server.h"
+#include "src/support/json.h"
 #include "src/support/rng.h"
+#include "src/support/sync.h"
+#include "src/support/trace.h"
 
 namespace incflat {
 namespace {
@@ -232,6 +243,55 @@ void soak_tuning(Tally& t, const Benchmark& b, const Compiled& c,
   std::remove(journal.c_str());
 }
 
+/// Concurrent daemon-shape soak: several threads hammer one fault-injected
+/// ServerCore with run/compile/stats traffic.  The point is lock-graph
+/// coverage — batching (serve.entry), cache sharding, the scheduler and the
+/// stats paths all interleave here, and lockdep watches every acquisition.
+void soak_serve(Tally& t, const std::string& spec_str) {
+  // Tracing on: the X -> trace.state ordering edges (cache shards, the
+  // scheduler, the pool all count under their locks) only exist while the
+  // trace layer is enabled, and the certification should cover them.
+  trace::set_enabled(true);
+  serve::ServeOptions o;
+  o.workers = 4;
+  o.faults = spec_str;
+  serve::ServerCore core(o);
+  const std::vector<std::string> names = all_benchmark_names();
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kReqs = 40;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kReqs; ++i) {
+        const Benchmark b = get_benchmark(names[(w + i) % names.size()]);
+        Json req = Json::object();
+        if (i % 13 == 0) {
+          req.set("op", "stats");
+        } else if (i % 7 == 0) {
+          req.set("op", "compile");
+          req.set("benchmark", b.name);
+        } else {
+          req.set("op", "run");
+          req.set("benchmark", b.name);
+          req.set("dataset", b.datasets.empty() ? std::string("test")
+                                                : b.datasets[0].name);
+        }
+        const Json resp = core.handle(req);
+        // Injected run faults may answer ok=false (structured); a missing
+        // "ok" field means the core broke protocol.
+        if (resp.find("ok") == nullptr) ++bad;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  trace::set_enabled(false);
+  trace::reset();
+  check(t, bad.load() == 0, "serve soak: response without an ok field");
+  t.runs += kThreads * kReqs;
+}
+
 int soak(const std::string& spec_str, int n_seeds) {
   const FaultSpec spec = parse_fault_spec(spec_str);
   const std::vector<DeviceProfile> devices{device_k40(), device_vega64()};
@@ -271,10 +331,24 @@ int soak(const std::string& spec_str, int n_seeds) {
       }
     }
   }
+  soak_serve(t, spec_str);
   // The tiered streams must actually exercise both tiers, or their checks
   // are vacuous.
   check(t, t.specializations > 0, "tiered soak: no plan ever specialized");
   check(t, t.deopts > 0, "tiered soak: no run ever deoptimized");
+
+  // Lock-hierarchy certification: the entire soak — serve phase included —
+  // ran with lockdep on; any acquisition that closed an ordering cycle is a
+  // deadlock waiting for the right interleaving and fails the job.
+  const auto violations = sync::lockdep::violations();
+  for (const auto& v : violations) std::cerr << "FAIL: " << v.str() << "\n";
+  check(t, violations.empty(), "lockdep: lock-order inversion(s) detected");
+  const auto ls = sync::lockdep::stats();
+  check(t, ls.acquisitions > 0, "lockdep: validator saw no acquisitions");
+  std::cout << "lockdep: " << ls.classes << " lock classes, " << ls.edges
+            << " order edges, " << ls.acquisitions << " acquisitions, "
+            << ls.violations << " violation(s) — hierarchy "
+            << (ls.violations == 0 ? "acyclic" : "CYCLIC") << "\n";
   std::cout << "soak: " << t.runs << " runs (" << t.faulted << " with faults, "
             << t.degraded << " degraded, " << t.unrecoverable
             << " unrecoverable-but-structured), " << t.tiered_runs
@@ -291,6 +365,9 @@ int soak(const std::string& spec_str, int n_seeds) {
 int main(int argc, char** argv) {
   const std::string spec = argc > 1 ? argv[1] : "all=0.01";
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 10;
+  // The soak always runs under the lock-order validator: its whole job is
+  // to interleave the paths production traffic takes.
+  incflat::sync::lockdep::set_enabled(true);
   try {
     return incflat::soak(spec, seeds);
   } catch (const std::exception& e) {
