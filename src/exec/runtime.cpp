@@ -76,6 +76,28 @@ std::vector<LaunchInfo> make_schedule(const DeviceProfile& dev,
   return sched;
 }
 
+/// How many launches may pass between CancelToken checks.  Checking every
+/// launch would put a clock read on the hot path; every 16th bounds the
+/// overshoot past a deadline to a handful of simulated kernels.
+constexpr int kCancelCheckStride = 16;
+
+/// Fill `out` as a cancelled (deadline-exceeded) result.  Cancellation is a
+/// scheduling outcome, not an execution fault: no degradation happened and
+/// none is implied, so callers must not treat it as plan invalidation.
+void mark_cancelled(RunOutcome& out, double wasted) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.check = "deadline-exceeded";
+  d.context = "run";
+  d.message = "run abandoned: the request's deadline expired mid-execution";
+  out.error = d;
+  out.ok = false;
+  out.cancelled = true;
+  out.time_us = wasted;
+  out.overhead_us = wasted;
+  if (trace::enabled()) trace::count("exec.cancelled_runs");
+}
+
 RunOutcome run_impl(const DeviceProfile& dev, const KernelPlan* plan,
                     const Program& target, const SizeEnv& sizes,
                     const ThresholdEnv& thresholds, FaultPlan& faults,
@@ -124,13 +146,29 @@ RunOutcome run_impl(const DeviceProfile& dev, const KernelPlan* plan,
   };
 
   bool restart = true;
+  int since_check = 0;
   while (restart) {
     restart = false;
+    // Pass start is a natural cancellation point: a restart redoes the whole
+    // schedule, the most expensive step an expired request could still take.
+    if (policy.cancel && policy.cancel->expired()) {
+      mark_cancelled(out, wasted);
+      out.estimate = final_estimate();
+      return out;
+    }
     const std::vector<LaunchInfo> sched = make_schedule(
         dev, plan, cache.get(), target, sizes, out.thresholds);
     double completed = 0;  // progress of this pass, wasted if it restarts
 
     for (const LaunchInfo& li : sched) {
+      if (policy.cancel && ++since_check >= kCancelCheckStride) {
+        since_check = 0;
+        if (policy.cancel->expired()) {
+          mark_cancelled(out, wasted + completed);
+          out.estimate = final_estimate();
+          return out;
+        }
+      }
       // A kernel whose fault-free time already exceeds the per-kernel
       // timeout can never finish: persistent by policy, no launch consult.
       bool persistent = false;
@@ -330,7 +368,20 @@ bool TieredRuntime::run_specialized(TieredOutcome& t,
   out.thresholds = thresholds;
   double wasted = 0;
   double completed = 0;
+  int since_check = 0;
   for (const LaunchInfo& li : sched) {
+    if (policy_.run.cancel && ++since_check >= kCancelCheckStride) {
+      since_check = 0;
+      if (policy_.run.cancel->expired()) {
+        // Cancelled on the specialized tier: NOT a deopt — the plan is
+        // still valid, the client just stopped waiting.
+        mark_cancelled(out, wasted + completed);
+        out.estimate = dispatch_->estimate();
+        t.run = std::move(out);
+        t.specialized = true;
+        return true;
+      }
+    }
     bool persistent = false;
     FaultKind kind = FaultKind::None;
     int att = 0;
@@ -392,8 +443,12 @@ bool TieredRuntime::run_specialized(TieredOutcome& t,
 
 TieredOutcome TieredRuntime::run(const SizeEnv& sizes,
                                  const ThresholdEnv& thresholds,
-                                 FaultPlan& faults) {
+                                 FaultPlan& faults,
+                                 const CancelToken* cancel) {
   const sync::ExclusiveRegion::Scope excl(excl_);
+  // Safe to stash in the policy: ExclusiveRegion guarantees one run at a
+  // time, and the token outlives the call by contract.
+  policy_.run.cancel = cancel;
   TieredOutcome t;
   if (plan_.legacy_fallback) {
     t.run = run_with_faults(dev_, plan_, sizes, thresholds, faults,
@@ -444,7 +499,11 @@ TieredOutcome TieredRuntime::run(const SizeEnv& sizes,
   out.overhead_us += attempt.wasted_us;
   out.time_us += attempt.wasted_us;
 
-  if (!out.ok || out.degradations > 0) {
+  if (out.cancelled) {
+    // Deadline expiry says nothing about the plan: keep the specialized
+    // plan and the streaks, record nothing (a partial run has no complete
+    // decision vector to feed the profile).
+  } else if (!out.ok || out.degradations > 0) {
     // A degraded run executed different code versions than the nominal
     // assignment selects: its decisions must not feed speculation, and any
     // standing speculation is no longer trustworthy.

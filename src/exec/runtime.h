@@ -38,6 +38,8 @@
 // correctness.  Specialization off = bit-identical to the plain runtime.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +52,60 @@
 #include "src/support/sync.h"
 
 namespace incflat {
+
+/// Cooperative end-to-end cancellation: an optional wall-clock deadline
+/// plus an externally flippable flag, checked at safe points (between
+/// kernel launches, between batch tickets, between tuner evaluations).
+/// The serve layer mints one per request carrying a "deadline_ms" budget
+/// and threads it client -> scheduler -> batch leader -> TieredRuntime, so
+/// an expired request is answered "timeout" at the next check instead of
+/// burning a worker to compute an answer nobody is waiting for.
+///
+/// Thread-safe: cancel() may race expired() from any thread.  The default
+/// token never expires and costs one relaxed load per check.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  /// A token expiring `ms` from now (ms <= 0 = already expired).  Tokens
+  /// are neither copyable nor movable (the flag is shared by address);
+  /// share one via shared_ptr when several holders need it.
+  explicit CancelToken(double deadline_ms) { set_deadline_ms(deadline_ms); }
+
+  void set_deadline(Clock::time_point tp) { deadline_ = tp; }
+  void set_deadline_ms(double ms) {
+    deadline_ = Clock::now() + std::chrono::microseconds(
+                                   static_cast<int64_t>(ms * 1000.0));
+  }
+
+  /// Flip the flag; every subsequent expired() answers true.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Deadline passed or cancel() called.
+  bool expired() const {
+    return cancel_requested() ||
+           (deadline_ != Clock::time_point::max() &&
+            Clock::now() >= deadline_);
+  }
+
+  /// Milliseconds left before the deadline; negative once expired, and a
+  /// very large value when the token has no deadline (callers clamp).
+  double remaining_ms() const {
+    if (cancel_requested()) return -1;
+    if (deadline_ == Clock::time_point::max()) return 1e18;
+    return std::chrono::duration<double, std::milli>(deadline_ -
+                                                     Clock::now())
+        .count();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
 
 /// Retry / timeout / degradation budgets for one run.
 struct RunPolicy {
@@ -64,6 +120,12 @@ struct RunPolicy {
   double kernel_timeout_us = 0;
   /// Maximum guard degradations before the run is declared failed.
   int max_degradations = 16;
+  /// Optional cooperative cancellation: checked at pass start and
+  /// periodically between launches.  An expired token aborts the run with
+  /// ok=false, cancelled=true and a "deadline-exceeded" Diagnostic — no
+  /// degradation, no speculation impact.  Not owned; the caller keeps the
+  /// token alive for the duration of the run.  nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Parse a `--run-policy` SPEC: comma-separated `key=value` with keys
@@ -87,6 +149,11 @@ struct FaultEvent {
 /// Full report of one fault-injected run.
 struct RunOutcome {
   bool ok = false;
+  /// The run was abandoned because its CancelToken expired (deadline or
+  /// explicit cancel) — a scheduling outcome, not an execution fault:
+  /// cancelled runs carry a "deadline-exceeded" Diagnostic and never count
+  /// against speculation (the tiered runtime keeps its specialized plan).
+  bool cancelled = false;
   /// Fault-free estimate under the final (possibly degraded) thresholds.
   RunEstimate estimate;
   /// Total simulated wall time: estimate.time_us plus every failed attempt,
@@ -178,8 +245,12 @@ class TieredRuntime {
   /// exists and covers (thresholds match, shape guards pass); otherwise —
   /// or after a mid-run deoptimization — runs the guard tree with full
   /// fault degradation.  Estimates are bit-identical across tiers.
+  /// `cancel` (optional, not owned, must outlive the call) aborts
+  /// cooperatively once expired: the outcome reports run.cancelled and the
+  /// speculation state is left untouched — a missed deadline says nothing
+  /// about the specialized plan's validity.
   TieredOutcome run(const SizeEnv& sizes, const ThresholdEnv& thresholds,
-                    FaultPlan& faults);
+                    FaultPlan& faults, const CancelToken* cancel = nullptr);
 
   /// Adopt a persisted profile (validated against the plan; throws IoError
   /// on mismatch).  Returns false — keeping a fresh profile — when the

@@ -1,0 +1,124 @@
+// Deterministic network-chaos injection for the serve stack.
+//
+// The gpusim fault model (src/gpusim/faults.*) makes the *compute* path
+// hostile; this layer does the same for the *serving* path.  A NetChaos
+// plan is a seeded, replayable oracle consulted by the socket front-end at
+// its syscall boundaries, perturbing exactly the conditions a daemon on a
+// real network must survive:
+//
+//   * dribble       — a read is capped to a few bytes, so frames arrive one
+//                     length-prefix byte at a time (the slow-loris shape);
+//   * partial-write — a write is truncated short, exercising the outbuf
+//                     offset/flush machinery the way a zero-window or
+//                     congested peer would;
+//   * stall         — a connection goes quiet for stall-us microseconds:
+//                     its readable data is left in the kernel buffer and
+//                     revisited later (a half-open or paused peer);
+//   * reset         — the connection is torn down mid-stream, as if the
+//                     peer sent RST with frames half-delivered;
+//   * accept-fail   — a freshly accepted connection is dropped before its
+//                     first byte (handshake races, immediate peer death).
+//
+// Chaos never rewrites bytes — it only re-chunks, delays and severs.  The
+// protocol invariants under chaos are therefore exact: no frame is ever
+// corrupted in flight, every response a surviving connection receives is
+// well-formed and in request order, and a severed connection is *visibly*
+// severed (EOF/RST at the peer), never wedged.  tools/soak_faults asserts
+// exactly that, and the chaos-soak CI job runs it under ASan.
+//
+// Everything is splitmix64-deterministic from (spec, seed), like FaultPlan:
+// the same chaos plan makes the same decisions in the same order on every
+// platform.  Enable with `incflatd --net-chaos SPEC` or INCFLAT_NET_CHAOS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/support/rng.h"
+
+namespace incflat::serve {
+
+/// Per-event chaos rates (probabilities in [0,1]) plus the stall length.
+struct NetChaosSpec {
+  double dribble = 0;
+  double partial_write = 0;
+  double stall = 0;
+  double reset = 0;
+  double accept_fail = 0;
+  /// How long a stalled connection stays quiet (simulated peer silence).
+  double stall_us = 2000;
+
+  bool enabled() const {
+    return dribble > 0 || partial_write > 0 || stall > 0 || reset > 0 ||
+           accept_fail > 0;
+  }
+};
+
+/// Parse a `--net-chaos` SPEC: "off" / "" disables everything; otherwise a
+/// comma-separated list of `key=rate` entries with keys dribble,
+/// partial-write, stall, reset, accept-fail, stall-us, and the shorthand
+/// `all=R` which applies R to the two re-chunking kinds (dribble,
+/// partial-write) and R/10 to the destructive ones (stall, reset,
+/// accept-fail).  Throws IoError on malformed specs or out-of-range rates.
+NetChaosSpec parse_net_chaos(const std::string& spec);
+
+/// One-line canonical rendering of a spec (parse round-trips it).
+std::string net_chaos_str(const NetChaosSpec& spec);
+
+/// The seeded chaos oracle.  Stateful: every decision advances one
+/// splitmix64 stream, so a plan's verdict sequence is a pure function of
+/// (spec, seed).  Disabled plans draw nothing and always answer "no chaos",
+/// so a chaos-free daemon pays one branch per consultation.  Fired events
+/// are tallied in the chaos.* trace counters (when tracing is on) and in
+/// the local counters below (always), which the drain report prints.
+class NetChaos {
+ public:
+  NetChaos() = default;
+  NetChaos(const NetChaosSpec& spec, uint64_t seed)
+      : spec_(spec), rng_(seed ^ kStream) {}
+
+  const NetChaosSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.enabled(); }
+
+  /// Cap for the next read of up to `want` bytes; a dribble caps it to a
+  /// uniform 1..16 bytes.  Never returns 0.
+  size_t read_cap(size_t want);
+
+  /// Cap for the next write of up to `want` bytes.  Never returns 0: a
+  /// partial write still makes one byte of progress, like a real socket
+  /// whose buffer is nearly — not exactly — full (zero-byte write chaos
+  /// would be EAGAIN, which the poll loop already models natively).
+  size_t write_cap(size_t want);
+
+  /// True: tear this connection down now (mid-stream reset).
+  bool reset_conn();
+
+  /// Microseconds this connection should stay quiet; 0 = no stall.
+  double stall_us();
+
+  /// True: drop this freshly accepted connection before serving it.
+  bool accept_fail();
+
+  /// Lifetime tallies of fired events, for the drain report and the soak.
+  struct Counts {
+    int64_t dribbles = 0;
+    int64_t partial_writes = 0;
+    int64_t stalls = 0;
+    int64_t resets = 0;
+    int64_t accept_fails = 0;
+    int64_t total() const {
+      return dribbles + partial_writes + stalls + resets + accept_fails;
+    }
+  };
+  const Counts& counts() const { return counts_; }
+
+ private:
+  static constexpr uint64_t kStream = 0xc4a05b17e5ULL;
+
+  NetChaosSpec spec_;
+  Rng rng_{0};
+  Counts counts_;
+};
+
+}  // namespace incflat::serve

@@ -9,16 +9,21 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <system_error>
 #include <vector>
 
+#include "src/exec/runtime.h"
 #include "src/support/error.h"
 #include "src/support/sync.h"
+#include "src/support/trace.h"
 
 namespace incflat::serve {
 
@@ -40,7 +45,10 @@ void set_nonblocking(int fd) {
 void write_fully(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE to
+    // this call, not raise SIGPIPE in a host that never installed a
+    // handler (tests, embedding programs).
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       sys_fail("write");
@@ -49,7 +57,39 @@ void write_fully(int fd, const char* data, size_t n) {
   }
 }
 
-int connect_endpoint(const Endpoint& ep) {
+void set_blocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0)
+    sys_fail("fcntl(~O_NONBLOCK)");
+}
+
+/// Finish a nonblocking connect within `timeout_ms` (must be > 0): poll for
+/// writability, then read the final verdict from SO_ERROR.  Throws IoError
+/// (closing `fd`) on timeout or failure.
+void await_connect(int fd, double timeout_ms, const std::string& where) {
+  pollfd p{fd, POLLOUT, 0};
+  const int rc = ::poll(&p, 1, std::max(1, static_cast<int>(timeout_ms)));
+  if (rc == 0) {
+    ::close(fd);
+    throw IoError("timed out connecting to " + where);
+  }
+  if (rc < 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    sys_fail("poll(connect " + where + ")");
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    ::close(fd);
+    errno = err ? err : errno;
+    sys_fail("connect(" + where + ")");
+  }
+}
+
+int connect_endpoint(const Endpoint& ep, double timeout_ms) {
+  const bool bounded = timeout_ms > 0;
   if (ep.kind == Endpoint::Kind::Unix) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) sys_fail("socket(AF_UNIX)");
@@ -60,10 +100,18 @@ int connect_endpoint(const Endpoint& ep) {
       throw IoError("unix socket path too long: " + ep.path);
     }
     std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (bounded) set_nonblocking(fd);
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      ::close(fd);
-      sys_fail("connect(" + ep.path + ")");
+      if (bounded && (errno == EINPROGRESS || errno == EAGAIN)) {
+        await_connect(fd, timeout_ms, ep.path);
+      } else {
+        const int e = errno;
+        ::close(fd);
+        errno = e;
+        sys_fail("connect(" + ep.path + ")");
+      }
     }
+    if (bounded) set_blocking(fd);
     return fd;
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -76,10 +124,19 @@ int connect_endpoint(const Endpoint& ep) {
     ::close(fd);
     throw IoError("bad tcp host (numeric IPv4 required): " + host);
   }
+  const std::string where = host + ":" + std::to_string(ep.port);
+  if (bounded) set_nonblocking(fd);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    sys_fail("connect(" + host + ":" + std::to_string(ep.port) + ")");
+    if (bounded && errno == EINPROGRESS) {
+      await_connect(fd, timeout_ms, where);
+    } else {
+      const int e = errno;
+      ::close(fd);
+      errno = e;
+      sys_fail("connect(" + where + ")");
+    }
   }
+  if (bounded) set_blocking(fd);
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
@@ -163,11 +220,28 @@ struct DoneQueue {
 }  // namespace
 
 struct ServeSocket::Impl {
+  using Clock = std::chrono::steady_clock;
+
   ServerCore& core;
   Endpoint ep;
+  SocketOptions sopts;
   int listen_fd = -1;
   std::shared_ptr<DoneQueue> dq = std::make_shared<DoneQueue>();
   std::atomic<bool> stop{false};
+
+  // Drain state machine.  drain_req is the only cross-thread (and
+  // signal-context) entry point: one atomic store, observed by the loop at
+  // the top of each iteration.  Everything else is loop-thread-local.
+  std::atomic<bool> drain_req{false};
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  DrainStats dstats;
+
+  // EMFILE/ENFILE cooldown: accepting resumes after this instant instead of
+  // busy-looping on a level-triggered listen fd we cannot accept from.
+  Clock::time_point accept_pause_until{};
+
+  NetChaos chaos;
 
   struct Conn {
     int fd = -1;
@@ -180,11 +254,17 @@ struct ServeSocket::Impl {
     uint64_t inflight = 0;
     bool closing = false;         // flush outbuf, then close
     bool shutdown_after = false;  // stop the loop once flushed
+    // Chaos stall: the connection is not polled until this instant.
+    Clock::time_point stalled_until{};
   };
   uint64_t next_conn_id = 1;
   std::map<uint64_t, std::shared_ptr<Conn>> conns;
 
-  explicit Impl(ServerCore& c, Endpoint e) : core(c), ep(std::move(e)) {}
+  Impl(ServerCore& c, Endpoint e, SocketOptions so)
+      : core(c),
+        ep(std::move(e)),
+        sopts(so),
+        chaos(so.chaos, so.chaos_seed) {}
 
   ~Impl() {
     for (auto& [id, conn] : conns)
@@ -210,8 +290,19 @@ struct ServeSocket::Impl {
 
   void flush(uint64_t id, Conn& c) {
     while (c.outoff < c.outbuf.size()) {
-      const ssize_t w = ::write(c.fd, c.outbuf.data() + c.outoff,
-                                c.outbuf.size() - c.outoff);
+      const size_t avail = c.outbuf.size() - c.outoff;
+      size_t cap = avail;
+      if (chaos.enabled()) {
+        if (chaos.reset_conn()) {  // mid-frame RST on the write side
+          close_conn(id);
+          return;
+        }
+        cap = chaos.write_cap(avail);
+      }
+      // MSG_NOSIGNAL for the same reason as write_fully: dying peers are
+      // an errno here, never a process-wide signal.
+      const ssize_t w =
+          ::send(c.fd, c.outbuf.data() + c.outoff, cap, MSG_NOSIGNAL);
       if (w < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -219,6 +310,10 @@ struct ServeSocket::Impl {
         return;
       }
       c.outoff += static_cast<size_t>(w);
+      // A chaos-truncated write behaves like EAGAIN: stop here and let
+      // POLLOUT resume the flush, exercising the offset machinery exactly
+      // the way a congested peer would.
+      if (cap < avail) return;
     }
     // Fully drained: compact.  The written prefix is tracked as an offset,
     // not erased per write — erasing the front of a large buffer on every
@@ -240,6 +335,13 @@ struct ServeSocket::Impl {
     if (it->second->fd >= 0) ::close(it->second->fd);
     it->second->fd = -1;
     conns.erase(it);
+  }
+
+  /// Answer `seq` on the loop thread through the ordinary in-order drain —
+  /// no completion-queue round-trip.  The caller flushes.
+  void answer_inline(Conn& c, uint64_t seq, const Json& resp) {
+    c.ready.emplace(seq, resp.str(-1));
+    drain_ready(c);
   }
 
   void handle_payload(uint64_t id, const std::shared_ptr<Conn>& conn,
@@ -265,44 +367,105 @@ struct ServeSocket::Impl {
     }
     if (op == "shutdown" || op == "ping") {
       // Cheap control ops answer inline on the loop thread — shutdown must
-      // not sit in a queue behind the very work it is trying to stop.
+      // not sit in a queue behind the very work it is trying to stop, and
+      // ping must answer even while draining (it is how the soak verifies
+      // the daemon never wedges).
       Json resp = core.handle(req);
-      dq->push(id, seq, resp.str(-1));
+      answer_inline(*conn, seq, resp);
       if (op == "shutdown") {
         conn->closing = true;
         conn->shutdown_after = true;
       }
       return;
     }
+    if (draining) {
+      // Fail-fast: no new work enters the scheduler once a drain began.
+      Json resp = retriable_error(code::kDraining,
+                                  "daemon is draining; retry elsewhere");
+      echo_id(req, resp);
+      answer_inline(*conn, seq, resp);
+      if (trace::enabled()) trace::count("serve.draining_rejected");
+      return;
+    }
+    if (sopts.max_inflight_per_conn > 0 &&
+        conn->inflight >
+            static_cast<uint64_t>(sopts.max_inflight_per_conn)) {
+      // Pipelining past the per-connection cap: shed this request (the
+      // newest) with an immediate in-order answer; admitted ones proceed.
+      Json resp = retriable_error(
+          code::kOverloaded,
+          "per-connection in-flight cap (" +
+              std::to_string(sopts.max_inflight_per_conn) + ") reached");
+      echo_id(req, resp);
+      answer_inline(*conn, seq, resp);
+      if (trace::enabled()) trace::count("serve.inflight_shed");
+      return;
+    }
+    // End-to-end deadline: minted here (frame decode time) so queue wait,
+    // batch wait and execution all burn the same budget.  The shared_ptr
+    // keeps the token alive for the job lambda regardless of how the
+    // request ends; ServerCore borrows it only inside handle().
+    std::shared_ptr<CancelToken> token;
+    if (const Json* dl = req.find("deadline_ms");
+        dl && dl->is_number() && dl->as_double() > 0) {
+      token = std::make_shared<CancelToken>(dl->as_double());
+    }
     const JobPriority pri = ServerCore::priority_for(op);
-    const double timeout = pri == JobPriority::Low
-                               ? core.options().tune_queue_timeout_ms
-                               : 0;
+    // The request deadline bounds the queue wait for *every* priority; the
+    // server-wide tune queue timeout still applies to Low jobs, and the
+    // tighter of the two wins.
+    double timeout = token ? token->remaining_ms() : 0;
+    if (pri == JobPriority::Low) {
+      const double tq = core.options().tune_queue_timeout_ms;
+      if (tq > 0) timeout = timeout > 0 ? std::min(timeout, tq) : tq;
+    }
     // Jobs capture the shared queue and the core — never Impl, which a
     // still-running job may outlive.  The drop hook substitutes a timeout /
-    // cancelled response so the connection's in-order writer never stalls
-    // on a job that was expired out of the queue.
+    // overloaded / cancelled response so the connection's in-order writer
+    // never stalls on a job that was dropped from the queue.
     std::shared_ptr<DoneQueue> q = dq;
     ServerCore* corep = &core;
     Json req_copy = std::move(req);
     core.scheduler().submit(
-        [q, corep, id, seq, req_copy](JobContext&) {
-          q->push(id, seq, corep->handle(req_copy).str(-1));
-        },
-        pri, timeout, [q, id, seq](JobState st) {
-          const char* c =
-              st == JobState::Expired ? code::kTimeout : code::kCancelled;
+        [q, corep, id, seq, req_copy, token](JobContext&) {
           q->push(id, seq,
-                  error_response(c, std::string("request ") + job_state_name(st) +
-                                        " before execution")
-                      .str(-1));
+                  corep->handle(req_copy, token.get()).str(-1));
+        },
+        pri, timeout, [q, id, seq, req_copy](JobState st) {
+          const char* c = st == JobState::Expired    ? code::kTimeout
+                          : st == JobState::Shed     ? code::kOverloaded
+                                                     : code::kCancelled;
+          // All three drops are "the daemon could not get to it": shed and
+          // expired are load conditions, cancelled happens at teardown —
+          // retriable against a healthy (or another) instance either way.
+          Json resp = retriable_error(
+              c, std::string("request ") + job_state_name(st) +
+                     " before execution");
+          echo_id(req_copy, resp);
+          q->push(id, seq, resp.str(-1));
         });
   }
 
   void on_readable(uint64_t id, const std::shared_ptr<Conn>& conn) {
     char buf[64 * 1024];
     for (;;) {
-      const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      size_t want = sizeof(buf);
+      if (chaos.enabled()) {
+        if (chaos.reset_conn()) {  // mid-stream RST: visibly severed
+          close_conn(id);
+          return;
+        }
+        if (const double us = chaos.stall_us(); us > 0) {
+          // Go quiet: leave whatever else arrived in the kernel buffer and
+          // revisit after the stall (the loop skips stalled connections).
+          conn->stalled_until =
+              Clock::now() +
+              std::chrono::microseconds(static_cast<int64_t>(us));
+          break;
+        }
+        want = chaos.read_cap(want);
+      }
+      const ssize_t n = ::read(conn->fd, buf, want);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -336,7 +499,7 @@ struct ServeSocket::Impl {
         flush(id, *conn);
         return;
       }
-      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      if (static_cast<size_t>(n) < want) break;
     }
     flush(id, *conn);
   }
@@ -346,7 +509,20 @@ struct ServeSocket::Impl {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of descriptors: the listen fd stays level-triggered
+          // readable, so polling it again immediately would spin.  Pause
+          // accepting briefly; pending connections wait in the backlog.
+          accept_pause_until =
+              Clock::now() + std::chrono::milliseconds(100);
+          if (trace::enabled()) trace::count("serve.accept_emfile");
+        }
         break;  // EAGAIN or transient accept failure: back to poll
+      }
+      if (chaos.enabled() && chaos.accept_fail()) {
+        // Chaos: the peer died during the handshake.
+        ::close(fd);
+        continue;
       }
       set_nonblocking(fd);
       if (ep.kind == Endpoint::Kind::Tcp) {
@@ -355,6 +531,24 @@ struct ServeSocket::Impl {
       }
       auto conn = std::make_shared<Conn>();
       conn->fd = fd;
+      if (sopts.max_conns > 0 &&
+          conns.size() >= static_cast<size_t>(sopts.max_conns)) {
+        // Over the connection cap: the peer gets one structured retriable
+        // "overloaded" frame, then the connection closes — through the
+        // ordinary outbuf/flush path so a slow reader still receives it.
+        conn->outbuf = encode_frame(
+            retriable_error(code::kOverloaded,
+                            "connection limit (" +
+                                std::to_string(sopts.max_conns) +
+                                ") reached; retry later")
+                .str(-1));
+        conn->closing = true;
+        if (trace::enabled()) trace::count("serve.conns_rejected");
+        const uint64_t id = next_conn_id++;
+        conns.emplace(id, conn);
+        flush(id, *conn);
+        continue;
+      }
       conns.emplace(next_conn_id++, std::move(conn));
     }
   }
@@ -375,34 +569,108 @@ struct ServeSocket::Impl {
     }
   }
 
+  /// Flip into draining: close the listen socket, arm the deadline, mark
+  /// every connection closing (flush-what-is-owed-then-close) and reap the
+  /// ones that owe nothing right away.
+  void begin_drain(Clock::time_point now) {
+    draining = true;
+    dstats.requested = true;
+    drain_deadline =
+        now + std::chrono::microseconds(
+                  static_cast<int64_t>(std::max(0.0, sopts.drain_ms) *
+                                       1000.0));
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    if (trace::enabled()) trace::count("serve.drains");
+    std::vector<uint64_t> all;
+    all.reserve(conns.size());
+    for (auto& [id, conn] : conns) all.push_back(id);
+    for (const uint64_t id : all) {
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      it->second->closing = true;
+      flush(id, *it->second);  // reaps idle connections immediately
+    }
+  }
+
   void loop() {
     std::vector<pollfd> pfds;
     std::vector<uint64_t> ids;
     while (!stop.load()) {
+      const Clock::time_point now = Clock::now();
+      if (drain_req.load(std::memory_order_relaxed) && !draining)
+        begin_drain(now);
+      if (draining) {
+        if (conns.empty()) {
+          dstats.clean = true;
+          break;
+        }
+        if (now >= drain_deadline) {
+          // Out of patience: sever the stragglers.  Their scheduler jobs
+          // may still complete; the completions land in the done queue and
+          // are dropped there (the connection is gone).
+          dstats.forced_conns = static_cast<int64_t>(conns.size());
+          std::vector<uint64_t> left;
+          left.reserve(conns.size());
+          for (auto& [id, conn] : conns) left.push_back(id);
+          for (const uint64_t id : left) close_conn(id);
+          break;
+        }
+      }
+
       pfds.clear();
       ids.clear();
-      pfds.push_back({listen_fd, POLLIN, 0});
+      int timeout = -1;
+      const auto consider = [&](Clock::time_point tp) {
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(tp - now)
+                .count();
+        const int t = static_cast<int>(std::clamp<int64_t>(ms + 1, 1, 60000));
+        timeout = timeout < 0 ? t : std::min(timeout, t);
+      };
+
+      int listen_idx = -1;
+      if (!draining) {
+        if (now < accept_pause_until) {
+          consider(accept_pause_until);  // resume accepting on schedule
+        } else {
+          listen_idx = static_cast<int>(pfds.size());
+          pfds.push_back({listen_fd, POLLIN, 0});
+        }
+      } else {
+        consider(drain_deadline);
+      }
+      const size_t wake_idx = pfds.size();
       pfds.push_back({dq->wake_r, POLLIN, 0});
+      const size_t base = pfds.size();
       for (auto& [id, conn] : conns) {
+        if (conn->stalled_until > now) {
+          // Chaos-stalled: not polled at all until the stall elapses.
+          consider(conn->stalled_until);
+          continue;
+        }
         short ev = POLLIN;
         if (!conn->outbuf.empty()) ev |= POLLOUT;
         pfds.push_back({conn->fd, ev, 0});
         ids.push_back(id);
       }
-      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      const int rc = ::poll(pfds.data(), pfds.size(), timeout);
       if (rc < 0) {
         if (errno == EINTR) continue;
         sys_fail("poll");
       }
-      if (pfds[1].revents & POLLIN) {
+      if (pfds[wake_idx].revents & POLLIN) {
         char buf[256];
         while (::read(dq->wake_r, buf, sizeof(buf)) > 0) {
         }
       }
       drain_done();
-      if (pfds[0].revents & POLLIN) accept_ready();
+      if (listen_idx >= 0 && (pfds[listen_idx].revents & POLLIN))
+        accept_ready();
       for (size_t i = 0; i < ids.size(); ++i) {
-        const pollfd& p = pfds[i + 2];
+        const pollfd& p = pfds[i + base];
         auto it = conns.find(ids[i]);
         if (it == conns.end()) continue;
         std::shared_ptr<Conn> conn = it->second;
@@ -414,12 +682,28 @@ struct ServeSocket::Impl {
         if (conns.contains(ids[i]) && (p.revents & (POLLIN | POLLHUP)))
           on_readable(ids[i], conn);
       }
+      // A stall that just elapsed may have left a full outbuf unpolled;
+      // give such connections a flush kick so progress never depends on
+      // fresh traffic arriving.  (Ids snapshotted first: flush may close.)
+      std::vector<uint64_t> unstalled;
+      for (auto& [id, conn] : conns) {
+        if (conn->stalled_until != Clock::time_point{} &&
+            conn->stalled_until <= now)
+          unstalled.push_back(id);
+      }
+      for (const uint64_t id : unstalled) {
+        auto it = conns.find(id);
+        if (it == conns.end()) continue;
+        it->second->stalled_until = Clock::time_point{};
+        flush(id, *it->second);
+      }
     }
   }
 };
 
-ServeSocket::ServeSocket(ServerCore& core, const Endpoint& ep)
-    : impl_(std::make_unique<Impl>(core, ep)) {
+ServeSocket::ServeSocket(ServerCore& core, const Endpoint& ep,
+                         SocketOptions sopts)
+    : impl_(std::make_unique<Impl>(core, ep, sopts)) {
   if (ep.kind == Endpoint::Kind::Unix) {
     ::unlink(ep.path.c_str());
     impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -465,10 +749,23 @@ void ServeSocket::stop() {
   impl_->dq->wake();
 }
 
+void ServeSocket::request_drain() {
+  // Async-signal-safe: one atomic store plus one write(2) on the self-pipe.
+  impl_->drain_req.store(true, std::memory_order_relaxed);
+  impl_->dq->wake();
+}
+
+const DrainStats& ServeSocket::drain_stats() const { return impl_->dstats; }
+
+const NetChaos::Counts& ServeSocket::chaos_counts() const {
+  return impl_->chaos.counts();
+}
+
 // ---------------------------------------------------------------------------
 // Client.
 
-ServeClient::ServeClient(const Endpoint& ep) : fd_(connect_endpoint(ep)) {}
+ServeClient::ServeClient(const Endpoint& ep, double timeout_ms)
+    : fd_(connect_endpoint(ep, timeout_ms)), timeout_ms_(timeout_ms) {}
 
 ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -476,9 +773,54 @@ ServeClient::~ServeClient() {
 
 std::string ServeClient::call_text(const std::string& payload) {
   const std::string frame = encode_frame(payload);
-  write_fully(fd_, frame.data(), frame.size());
+  // A server may answer-and-close before our request even lands — the
+  // over-capacity rejection does exactly that.  An EPIPE/RST on the send
+  // must not discard the parting frame already sitting in our receive
+  // buffer: fall through to the read, and only if nothing arrives either
+  // rethrow the transport error.
+  std::exception_ptr send_err;
+  try {
+    write_fully(fd_, frame.data(), frame.size());
+  } catch (const IoError&) {
+    send_err = std::current_exception();
+  }
   std::string resp;
+  if (send_err) {
+    try {
+      char buf[64 * 1024];
+      for (;;) {
+        if (reader_.next(&resp)) return resp;
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        reader_.feed(buf, static_cast<size_t>(n));
+      }
+    } catch (const ProtocolError&) {
+      // Poisoned framing on a dead connection: the send error tells the
+      // truer story.
+    }
+    std::rethrow_exception(send_err);
+  }
+  const auto start = std::chrono::steady_clock::now();
   while (!reader_.next(&resp)) {
+    if (timeout_ms_ > 0) {
+      // The deadline covers the whole response, not each read: a dribbling
+      // server cannot stretch one call forever by staying barely alive.
+      const double left =
+          timeout_ms_ - std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (left <= 0)
+        throw IoError("timed out waiting for response (" +
+                      std::to_string(static_cast<int>(timeout_ms_)) + "ms)");
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, std::max(1, static_cast<int>(left)));
+      if (rc == 0) continue;  // re-check the deadline
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        sys_fail("poll(read)");
+      }
+    }
     char buf[64 * 1024];
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n < 0) {

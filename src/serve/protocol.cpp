@@ -60,6 +60,20 @@ Json error_response(const std::string& code, const std::string& message) {
   return j;
 }
 
+Json retriable_error(const std::string& code, const std::string& message) {
+  Json j = error_response(code, message);
+  j.set("retriable", true);
+  return j;
+}
+
+bool is_retriable(const Json& response) {
+  if (!response.is_object()) return false;
+  const Json* ok = response.find("ok");
+  if (!ok || !ok->is_bool() || ok->as_bool()) return false;
+  const Json* r = response.find("retriable");
+  return r && r->is_bool() && r->as_bool();
+}
+
 void echo_id(const Json& request, Json& response) {
   if (const Json* id = request.find("id")) response.set("id", *id);
 }

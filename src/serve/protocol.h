@@ -19,10 +19,19 @@
 //   {"op":"stats"}      {"op":"ping"}      {"op":"shutdown"}
 //
 // plus an optional "id" (any JSON value) echoed verbatim in the response,
-// so clients that pipeline requests can match reordered responses.  Every
-// response is an object with "ok":bool; failures carry "error" (message)
-// and "code" ("bad-request" | "unknown-op" | "protocol" | "internal" |
-// "run-failed" | "timeout" | "cancelled").
+// so clients that pipeline requests can match reordered responses, and an
+// optional "deadline_ms" (number > 0): the end-to-end budget the client
+// grants the daemon for this request, counted from the moment the frame is
+// decoded.  A request still queued past its deadline is answered "timeout"
+// without running; a request caught mid-execution returns "timeout" at the
+// next cooperative cancellation check instead of burning its worker.
+//
+// Every response is an object with "ok":bool; failures carry "error"
+// (message) and "code" ("bad-request" | "unknown-op" | "protocol" |
+// "internal" | "run-failed" | "timeout" | "cancelled" | "overloaded" |
+// "draining").  Failures the client should simply retry later — load sheds,
+// deadline expiries, a draining daemon — additionally carry
+// "retriable":true (see retriable_error below).
 #pragma once
 
 #include <cstdint>
@@ -82,10 +91,26 @@ inline constexpr const char* kInternal = "internal";
 inline constexpr const char* kRunFailed = "run-failed";
 inline constexpr const char* kTimeout = "timeout";
 inline constexpr const char* kCancelled = "cancelled";
+/// Load shed: the daemon is over capacity (connection cap, queue cap or
+/// per-connection in-flight cap).  Always retriable.
+inline constexpr const char* kOverloaded = "overloaded";
+/// The daemon is draining for shutdown; retry against another instance.
+inline constexpr const char* kDraining = "draining";
 }  // namespace code
 
 /// A failure response: {"ok":false,"code":...,"error":...}.
 Json error_response(const std::string& code, const std::string& message);
+
+/// A *retriable* failure response: error_response plus "retriable":true —
+/// the structured contract of every shed / deadline / drain outcome.  A
+/// client seeing it knows the request itself was fine, the daemon just
+/// could not serve it right now: back off and retry (incflat_client
+/// --retries and serve_loadgen both key on this field, not on the code
+/// list, so new retriable conditions need no client updates).
+Json retriable_error(const std::string& code, const std::string& message);
+
+/// True iff the parsed response is a structured retriable failure.
+bool is_retriable(const Json& response);
 
 /// Echo the request's "id" field (if any) into a response object.
 void echo_id(const Json& request, Json& response);

@@ -22,12 +22,14 @@ const char* job_state_name(JobState s) {
     case JobState::Failed: return "failed";
     case JobState::Cancelled: return "cancelled";
     case JobState::Expired: return "expired";
+    case JobState::Shed: return "shed";
   }
   return "?";
 }
 
-JobScheduler::JobScheduler(int workers, double promote_after_ms)
-    : promote_after_ms_(promote_after_ms) {
+JobScheduler::JobScheduler(int workers, double promote_after_ms,
+                           int64_t queue_cap)
+    : promote_after_ms_(promote_after_ms), queue_cap_(queue_cap) {
   const int n = WorkerPool::pick_width(
       workers, std::thread::hardware_concurrency());
   threads_.reserve(static_cast<size_t>(n));
@@ -71,12 +73,22 @@ uint64_t JobScheduler::submit(JobFn fn, JobPriority pri,
   {
     sync::MutexLock lk(mu_);
     job->id = next_id_++;
+    ++stats_.submitted;
+    if (trace::enabled()) trace::count("serve.jobs_submitted");
+    if (queue_cap_ > 0 &&
+        static_cast<int64_t>(queues_[static_cast<int>(pri)].size()) >=
+            queue_cap_) {
+      // Reject-newest: the admitted jobs keep their promise; this one is
+      // answered immediately (DropFn with Shed) instead of enqueued.
+      ++stats_.shed;
+      if (trace::enabled()) trace::count("serve.jobs_shed");
+      finish_locked(job, JobState::Shed);
+      return job->id;
+    }
     queues_[static_cast<int>(pri)].push_back(job);
     jobs_.emplace(job->id, job);
-    ++stats_.submitted;
     ++stats_.queued;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, stats_.queued);
-    if (trace::enabled()) trace::count("serve.jobs_submitted");
   }
   cv_work_.notify_one();
   return job->id;
@@ -150,8 +162,8 @@ void JobScheduler::finish_locked(const std::shared_ptr<Job>& job, JobState st) {
   jobs_.erase(job->id);
   if (finished_.size() >= kFinishedCap) finished_.erase(finished_.begin());
   finished_[job->id] = Finished{st, job->error};
-  if (job->on_drop &&
-      (st == JobState::Cancelled || st == JobState::Expired)) {
+  if (job->on_drop && (st == JobState::Cancelled ||
+                       st == JobState::Expired || st == JobState::Shed)) {
     job->on_drop(st);
   }
   cv_done_.notify_all();

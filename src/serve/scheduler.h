@@ -19,7 +19,14 @@
 //   * per-job queue timeouts: a job still queued past its deadline is
 //     completed as Expired instead of run — a tune job that sat behind a
 //     run burst for too long is dropped, not executed against a client
-//     that gave up on it long ago.
+//     that gave up on it long ago;
+//   * bounded queues with reject-newest shedding: each priority class
+//     holds at most `queue_cap` waiting jobs; a submit against a full
+//     class completes the *new* job as Shed without enqueueing it.
+//     Reject-newest (not drop-oldest) keeps the answered set FIFO — the
+//     jobs already admitted were promised progress, and the shed client
+//     gets an immediate structured "overloaded" answer it can retry,
+//     instead of silently displacing someone older.
 //
 // Jobs never throw across the scheduler: an escaping exception is captured
 // and rethrown by the first wait() on that job.
@@ -42,7 +49,15 @@ namespace incflat::serve {
 
 enum class JobPriority { High = 0, Normal = 1, Low = 2 };
 
-enum class JobState { Queued, Running, Done, Failed, Cancelled, Expired };
+enum class JobState {
+  Queued,
+  Running,
+  Done,
+  Failed,
+  Cancelled,
+  Expired,
+  Shed,  // rejected at submit: the priority class's queue was full
+};
 
 const char* job_state_name(JobState s);
 
@@ -63,6 +78,7 @@ struct SchedulerStats {
   int64_t failed = 0;     // executed jobs that threw
   int64_t cancelled = 0;  // unscheduled while still queued
   int64_t expired = 0;    // queue deadline passed before a worker got there
+  int64_t shed = 0;       // rejected at submit against a full class queue
   int64_t queued = 0;     // currently waiting
   int64_t running = 0;    // currently executing
   int64_t max_queue_depth = 0;
@@ -73,8 +89,11 @@ class JobScheduler {
   /// `workers` <= 0 picks WorkerPool::pick_width's default: min(hardware
   /// concurrency, 8), at least 1.  `promote_after_ms` is the age at which a
   /// waiting job is drained as if it were one priority class higher
-  /// (anti-starvation); <= 0 disables promotion.
-  explicit JobScheduler(int workers = 0, double promote_after_ms = 1000.0);
+  /// (anti-starvation); <= 0 disables promotion.  `queue_cap` bounds each
+  /// priority class's waiting queue: a submit against a full class sheds
+  /// the new job (see the header comment); <= 0 = unbounded.
+  explicit JobScheduler(int workers = 0, double promote_after_ms = 1000.0,
+                        int64_t queue_cap = 0);
 
   /// Cancels every queued job, waits for running ones, joins the workers.
   ~JobScheduler();
@@ -82,16 +101,20 @@ class JobScheduler {
   JobScheduler& operator=(const JobScheduler&) = delete;
 
   using JobFn = std::function<void(JobContext&)>;
-  /// Notification that a job was dropped — completed as Cancelled or
-  /// Expired *without running*.  Callers that owe someone an answer per
+  /// Notification that a job was dropped — completed as Cancelled, Expired
+  /// or Shed *without running*.  Callers that owe someone an answer per
   /// submitted job (the socket layer's in-order response queue) use it to
-  /// substitute a timeout/cancelled response; without it a dropped job
-  /// would stall every response sequenced after it.  Invoked with the
-  /// scheduler lock held: must be cheap and must not call back in.
+  /// substitute a timeout/cancelled/overloaded response; without it a
+  /// dropped job would stall every response sequenced after it.  Invoked
+  /// with the scheduler lock held: must be cheap and must not call back
+  /// in.  Fires exactly once per dropped job, never for a job that ran.
   using DropFn = std::function<void(JobState)>;
 
   /// Enqueue a job; returns its id (monotonic from 1).  `queue_timeout_ms`
   /// > 0 expires the job if no worker has started it within that long.
+  /// When the class queue is at queue_cap the job is shed instead of
+  /// enqueued (its DropFn fires with Shed before submit returns; wait(id)
+  /// reports Shed).
   uint64_t submit(JobFn fn, JobPriority pri = JobPriority::Normal,
                   double queue_timeout_ms = 0, DropFn on_drop = nullptr)
       EXCLUDES(mu_);
@@ -148,6 +171,7 @@ class JobScheduler {
   std::map<uint64_t, Finished> finished_ GUARDED_BY(mu_);
   uint64_t next_id_ GUARDED_BY(mu_) = 1;
   double promote_after_ms_;
+  int64_t queue_cap_;  // per-class waiting-queue bound; <= 0 = unbounded
   bool stop_ GUARDED_BY(mu_) = false;
   SchedulerStats stats_ GUARDED_BY(mu_);
 };

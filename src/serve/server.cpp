@@ -1,5 +1,6 @@
 #include "src/serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <sstream>
@@ -119,6 +120,12 @@ struct ServerCore::ServedPlan : CacheValue {
   struct Ticket {
     Json req;
     Json resp;
+    // The requester's deadline token (not owned; the requester's handle()
+    // stack frame outlives the ticket — follower blocks on cv, leader
+    // drains its own ticket).  The leader honors it per ticket: an expired
+    // follower is answered "timeout" without running, and a live one's
+    // token rides into the tiered runtime for mid-run cancellation.
+    const CancelToken* cancel = nullptr;
     int batch = 0;  // members of the batch that answered this ticket
     bool done = false;
   };
@@ -136,7 +143,7 @@ ServerCore::ServerCore(ServeOptions opts)
     : opts_(std::move(opts)),
       fspec_(parse_fault_spec(opts_.faults)),
       cache_(opts_.cache_bytes, opts_.cache_shards),
-      sched_(opts_.workers) {}
+      sched_(opts_.workers, /*promote_after_ms=*/1000.0, opts_.queue_cap) {}
 
 ServerCore::~ServerCore() = default;
 
@@ -169,10 +176,26 @@ std::string ServerCore::handle_text(const std::string& payload) {
   return handle(req).str(-1);
 }
 
-Json ServerCore::handle(const Json& request) {
+Json ServerCore::handle(const Json& request, const CancelToken* cancel) {
   Json resp;
+  if (cancel && cancel->expired()) {
+    // The deadline passed before any work started (typically: the job sat
+    // in the scheduler queue, or the leader got to this ticket late).
+    // Answer without touching the cache or a runtime.
+    resp = retriable_error(code::kTimeout,
+                           "deadline expired before the request ran");
+    echo_id(request, resp);
+    {
+      sync::MutexLock lk(stats_mu_);
+      ++rstats_.total;
+      ++rstats_.errors;
+      ++rstats_.deadline_expired;
+    }
+    if (trace::enabled()) trace::count("serve.deadline_expired");
+    return resp;
+  }
   try {
-    resp = dispatch(request);
+    resp = dispatch(request, cancel);
   } catch (const JsonParseError& e) {
     resp = error_response(code::kBadRequest, e.what());
   } catch (const CompilerError& e) {
@@ -192,7 +215,7 @@ Json ServerCore::handle(const Json& request) {
   return resp;
 }
 
-Json ServerCore::dispatch(const Json& req) {
+Json ServerCore::dispatch(const Json& req, const CancelToken* cancel) {
   if (!req.is_object())
     return error_response(code::kBadRequest, "request must be a json object");
   const Json* opv = req.find("op");
@@ -201,8 +224,8 @@ Json ServerCore::dispatch(const Json& req) {
   const std::string& op = opv->as_string();
 
   if (op == "compile") return do_compile(req);
-  if (op == "run") return do_run(req);
-  if (op == "tune") return do_tune(req);
+  if (op == "run") return do_run(req, cancel);
+  if (op == "tune") return do_tune(req, cancel);
   if (op == "stats") return do_stats();
   if (op == "ping") {
     Json r = Json::object();
@@ -357,7 +380,8 @@ Json ServerCore::do_compile(const Json& req) {
   return r;
 }
 
-Json ServerCore::run_one(ServedPlan& entry, const Json& req) {
+Json ServerCore::run_one(ServedPlan& entry, const Json& req,
+                         const CancelToken* cancel) {
   ThresholdEnv thr;
   if (const Json* tv = req.find("thresholds")) {
     if (!tv->is_object())
@@ -381,7 +405,19 @@ Json ServerCore::run_one(ServedPlan& entry, const Json& req) {
   TieredOutcome t;
   {
     trace::Span span("serve.run", "serve");
-    t = entry.rt->run(entry.sizes, thr, entry.faults);
+    t = entry.rt->run(entry.sizes, thr, entry.faults, cancel);
+  }
+
+  if (t.run.cancelled) {
+    // Expired mid-execution: a scheduling outcome, answered retriable —
+    // the request itself was fine, the daemon just ran out of its budget.
+    {
+      sync::MutexLock lk(stats_mu_);
+      ++rstats_.deadline_expired;
+    }
+    if (trace::enabled()) trace::count("serve.deadline_expired");
+    return retriable_error(code::kTimeout,
+                           "deadline expired during execution");
   }
 
   Json r = Json::object();
@@ -407,7 +443,7 @@ Json ServerCore::run_one(ServedPlan& entry, const Json& req) {
   return r;
 }
 
-Json ServerCore::do_run(const Json& req) {
+Json ServerCore::do_run(const Json& req, const CancelToken* cancel) {
   {
     sync::MutexLock lk(stats_mu_);
     ++rstats_.runs;
@@ -423,6 +459,7 @@ Json ServerCore::do_run(const Json& req) {
 
   auto ticket = std::make_shared<ServedPlan::Ticket>();
   ticket->req = req;
+  ticket->cancel = cancel;
 
   sync::UniqueLock lk(entry->mu);
   entry->pending.push_back(ticket);
@@ -497,8 +534,22 @@ Json ServerCore::do_run(const Json& req) {
     }
     const int bsz = static_cast<int>(batch.size());
     for (auto& t : batch) {
+      // Honor each ticket's own deadline before spending runtime on it: a
+      // follower that waited out its budget in this queue is answered
+      // "timeout" (retriable) without running — its client stopped waiting.
+      if (t->cancel && t->cancel->expired()) {
+        t->resp = retriable_error(code::kTimeout,
+                                  "deadline expired in the batch queue");
+        t->batch = bsz;
+        {
+          sync::MutexLock slk(stats_mu_);
+          ++rstats_.deadline_expired;
+        }
+        if (trace::enabled()) trace::count("serve.deadline_expired");
+        continue;
+      }
       try {
-        t->resp = run_one(*entry, t->req);
+        t->resp = run_one(*entry, t->req, t->cancel);
       } catch (const JsonParseError& e) {
         t->resp = error_response(code::kBadRequest, e.what());
       } catch (const CompilerError& e) {
@@ -530,7 +581,7 @@ Json ServerCore::do_run(const Json& req) {
   return r;
 }
 
-Json ServerCore::do_tune(const Json& req) {
+Json ServerCore::do_tune(const Json& req, const CancelToken* cancel) {
   {
     sync::MutexLock lk(stats_mu_);
     ++rstats_.tunes;
@@ -561,6 +612,23 @@ Json ServerCore::do_tune(const Json& req) {
   topts.noise = fspec_.noise;
   topts.measure_seed = opts_.fault_seed;
   topts.workers = 1;  // the scheduler owns server parallelism
+  if (cancel) {
+    // Spend at most the request's remaining budget: the tuner's wall-clock
+    // stop returns the incumbent gracefully, so a deadline-bounded tune
+    // still publishes the best thresholds it found in time.
+    const double left = cancel->remaining_ms();
+    if (left < 1e17) {
+      topts.budget_ms = std::max(1.0, left);
+      if (topts.budget_ms < 1.5) {
+        // Effectively nothing left; answer timeout instead of a 1ms farce.
+        sync::MutexLock lk(stats_mu_);
+        ++rstats_.deadline_expired;
+        if (trace::enabled()) trace::count("serve.deadline_expired");
+        return retriable_error(code::kTimeout,
+                               "deadline expired before tuning started");
+      }
+    }
+  }
 
   TuningReport rep;
   {
@@ -614,6 +682,7 @@ Json ServerCore::do_stats() {
   sched.set("failed", ss.failed);
   sched.set("cancelled", ss.cancelled);
   sched.set("expired", ss.expired);
+  sched.set("shed", ss.shed);
   sched.set("queued", ss.queued);
   sched.set("running", ss.running);
   sched.set("max_queue_depth", ss.max_queue_depth);
@@ -628,6 +697,7 @@ Json ServerCore::do_stats() {
   reqs.set("errors", rs.errors);
   reqs.set("batches", rs.batches);
   reqs.set("batched_runs", rs.batched_runs);
+  reqs.set("deadline_expired", rs.deadline_expired);
 
   Json r = Json::object();
   r.set("ok", true);

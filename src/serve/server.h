@@ -52,6 +52,10 @@
 #include "src/support/json.h"
 #include "src/support/sync.h"
 
+namespace incflat {
+class CancelToken;  // src/exec/runtime.h
+}
+
 namespace incflat::serve {
 
 struct ServeOptions {
@@ -68,8 +72,12 @@ struct ServeOptions {
   /// Default trial budget of a `tune` request (overridable per request).
   int tune_trials = 64;
   /// Queue timeout for Low-priority (tune) jobs submitted by the socket
-  /// layer; 0 = none.
+  /// layer; 0 = none.  A request's own deadline_ms, when tighter, wins.
   double tune_queue_timeout_ms = 0;
+  /// Per-priority-class bound on the scheduler's waiting queue; a submit
+  /// against a full class is shed (answered "overloaded", retriable).
+  /// <= 0 = unbounded.
+  int64_t queue_cap = 0;
 };
 
 /// Request tallies, reported by the stats op.
@@ -82,6 +90,10 @@ struct RequestStats {
   int64_t errors = 0;        // responses with ok=false
   int64_t batches = 0;       // run batches with more than one member
   int64_t batched_runs = 0;  // run requests answered as batch followers
+  /// Requests answered "timeout" because their end-to-end deadline expired
+  /// (at entry, waiting in a batch queue, or mid-run via the CancelToken).
+  /// Scheduler-queue expiries are counted by SchedulerStats::expired.
+  int64_t deadline_expired = 0;
 };
 
 class ServerCore {
@@ -92,8 +104,13 @@ class ServerCore {
   ServerCore& operator=(const ServerCore&) = delete;
 
   /// Answer one request.  Thread-safe; never throws (failures become
-  /// ok=false responses).
-  Json handle(const Json& request);
+  /// ok=false responses).  `cancel` (optional, not owned, must outlive the
+  /// call) carries the request's end-to-end deadline: an already-expired
+  /// token answers "timeout" (retriable) without any work, and run/tune
+  /// requests check it cooperatively mid-execution — in the batch leader's
+  /// drain before each ticket, between kernel launches inside the tiered
+  /// runtime, and between tuner evaluations via the tuner's budget hook.
+  Json handle(const Json& request, const CancelToken* cancel = nullptr);
 
   /// Parse + handle + serialise (compact).  Malformed JSON answers a
   /// structured "protocol" error; this never throws either.
@@ -111,10 +128,10 @@ class ServerCore {
  private:
   struct ServedPlan;
 
-  Json dispatch(const Json& req);
+  Json dispatch(const Json& req, const CancelToken* cancel);
   Json do_compile(const Json& req);
-  Json do_run(const Json& req);
-  Json do_tune(const Json& req);
+  Json do_run(const Json& req, const CancelToken* cancel);
+  Json do_tune(const Json& req, const CancelToken* cancel);
   Json do_stats();
 
   /// Find or build the (program, mode, device[, shape]) entry.  `sizes`
@@ -126,8 +143,10 @@ class ServerCore {
                                                 bool* cached);
 
   /// Execute one run request against an entry (leader-only; entry state is
-  /// exclusively owned while ServedPlan::leader_active).
-  Json run_one(ServedPlan& entry, const Json& req);
+  /// exclusively owned while ServedPlan::leader_active).  `cancel` is the
+  /// *ticket's* token, not the leader's: in a batch the leader runs other
+  /// requests' work under their deadlines.
+  Json run_one(ServedPlan& entry, const Json& req, const CancelToken* cancel);
 
   ServeOptions opts_;
   FaultSpec fspec_;

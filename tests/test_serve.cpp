@@ -22,6 +22,8 @@
 
 #include "src/benchsuite/benchmark.h"
 #include "src/exec/exec.h"
+#include "src/exec/runtime.h"
+#include "src/serve/chaos.h"
 #include "src/serve/net.h"
 #include "src/serve/plan_cache.h"
 #include "src/serve/protocol.h"
@@ -411,6 +413,168 @@ TEST(Scheduler, DestructorCancelsQueuedJobs) {
     // worker slot before the drain or reports its drop — never silence.
   }
   EXPECT_EQ(ran.load() + dropped.load(), 8);
+}
+
+TEST(Scheduler, QueueCapShedsNewestWithDrop) {
+  // One worker occupied by a gate, cap 2: two jobs fill the Normal queue
+  // and the third is rejected-newest — its DropFn fires with Shed before
+  // submit even returns, and it never runs.
+  JobScheduler sched(1, /*promote_after_ms=*/1000.0, /*queue_cap=*/2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  sched.submit([&](JobContext&) {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  const uint64_t a = sched.submit([&](JobContext&) { ++ran; });
+  const uint64_t b = sched.submit([&](JobContext&) { ++ran; });
+  std::atomic<int> dropped{0};
+  JobState drop_state = JobState::Done;
+  const uint64_t c = sched.submit(
+      [&](JobContext&) { ADD_FAILURE() << "shed job must not run"; },
+      JobPriority::Normal, 0, [&](JobState st) {
+        drop_state = st;
+        ++dropped;
+      });
+  EXPECT_EQ(dropped.load(), 1);
+  EXPECT_EQ(drop_state, JobState::Shed);
+  EXPECT_EQ(sched.wait(c), JobState::Shed);
+  release.store(true);
+  EXPECT_EQ(sched.wait(a), JobState::Done);
+  EXPECT_EQ(sched.wait(b), JobState::Done);
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(sched.stats().shed, 1);
+  EXPECT_EQ(sched.stats().submitted, 4);
+}
+
+TEST(SchedulerStress, ConcurrentEnqueueExpireExactlyOnceSeeded) {
+  // Several producers enqueue jobs with sub-millisecond queue timeouts
+  // while two workers drain concurrently, so expiry races execution on
+  // every job.  Contracts: each job resolves to exactly one of
+  // {ran, dropped} (the DropFn fires exactly once, never alongside the
+  // body), and the expired counter matches the Expired waits exactly.
+  constexpr int kThreads = 4, kPerThread = 64;
+  constexpr int kN = kThreads * kPerThread;
+  JobScheduler sched(2, /*promote_after_ms=*/1000.0);
+  std::vector<std::atomic<int>> events(kN);
+  std::vector<uint64_t> ids(kN);
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      std::mt19937_64 rng(0xeaf00dULL + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const int ix = t * kPerThread + i;
+        const double tmo = 0.05 + static_cast<double>(rng() % 30) / 20.0;
+        ids[ix] = sched.submit(
+            [&events, ix](JobContext&) {
+              ++events[ix];
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+            },
+            JobPriority::Normal, tmo, [&events, ix](JobState st) {
+              EXPECT_EQ(st, JobState::Expired);
+              ++events[ix];
+            });
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  int64_t expired_waits = 0;
+  for (int i = 0; i < kN; ++i) {
+    const JobState st = sched.wait(ids[i]);
+    EXPECT_TRUE(st == JobState::Done || st == JobState::Expired)
+        << "job " << i << " ended " << serve::job_state_name(st);
+    if (st == JobState::Expired) ++expired_waits;
+  }
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(events[i].load(), 1)
+        << "job " << i << " fired its body/drop " << events[i].load()
+        << " times";
+  }
+  EXPECT_EQ(sched.stats().expired, expired_waits);
+  EXPECT_EQ(sched.stats().executed, kN - expired_waits);
+}
+
+// ---------------------------------------------------------------------------
+// Network chaos oracle
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, ParseSpecAllShorthandAndRoundTrip) {
+  EXPECT_FALSE(serve::parse_net_chaos("").enabled());
+  EXPECT_FALSE(serve::parse_net_chaos("off").enabled());
+  const serve::NetChaosSpec s =
+      serve::parse_net_chaos("dribble=0.2,reset=0.01,stall-us=500");
+  EXPECT_DOUBLE_EQ(s.dribble, 0.2);
+  EXPECT_DOUBLE_EQ(s.reset, 0.01);
+  EXPECT_DOUBLE_EQ(s.stall_us, 500);
+  EXPECT_DOUBLE_EQ(s.partial_write, 0);
+  EXPECT_TRUE(s.enabled());
+  // all=R: R for the re-chunking kinds, R/10 for the destructive ones.
+  const serve::NetChaosSpec all = serve::parse_net_chaos("all=0.1");
+  EXPECT_DOUBLE_EQ(all.dribble, 0.1);
+  EXPECT_DOUBLE_EQ(all.partial_write, 0.1);
+  EXPECT_DOUBLE_EQ(all.stall, 0.01);
+  EXPECT_DOUBLE_EQ(all.reset, 0.01);
+  EXPECT_DOUBLE_EQ(all.accept_fail, 0.01);
+  const serve::NetChaosSpec rt =
+      serve::parse_net_chaos(serve::net_chaos_str(all));
+  EXPECT_DOUBLE_EQ(rt.dribble, all.dribble);
+  EXPECT_DOUBLE_EQ(rt.stall, all.stall);
+  EXPECT_DOUBLE_EQ(rt.reset, all.reset);
+  EXPECT_THROW(serve::parse_net_chaos("bogus=1"), IoError);
+  EXPECT_THROW(serve::parse_net_chaos("dribble=2"), IoError);
+  EXPECT_THROW(serve::parse_net_chaos("dribble"), IoError);
+}
+
+TEST(Chaos, SeedDeterminismAndCapBounds) {
+  const serve::NetChaosSpec spec = serve::parse_net_chaos("all=0.3");
+  serve::NetChaos a(spec, 42), b(spec, 42);
+  for (int i = 0; i < 200; ++i) {
+    const size_t ra = a.read_cap(4096), rb = b.read_cap(4096);
+    EXPECT_EQ(ra, rb);
+    EXPECT_GE(ra, 1u);  // a zero-byte read would read as EOF
+    EXPECT_LE(ra, 4096u);
+    const size_t wa = a.write_cap(4096), wb = b.write_cap(4096);
+    EXPECT_EQ(wa, wb);
+    EXPECT_GE(wa, 1u);  // partial writes always make progress
+    EXPECT_LE(wa, 4096u);
+    EXPECT_EQ(a.reset_conn(), b.reset_conn());
+    EXPECT_DOUBLE_EQ(a.stall_us(), b.stall_us());
+    EXPECT_EQ(a.accept_fail(), b.accept_fail());
+  }
+  EXPECT_EQ(a.counts().total(), b.counts().total());
+  EXPECT_GT(a.counts().total(), 0);  // 0.3 over 200 draws: must have fired
+}
+
+TEST(Chaos, DisabledPlanIsANoop) {
+  serve::NetChaos off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.read_cap(100), 100u);
+  EXPECT_EQ(off.write_cap(100), 100u);
+  EXPECT_FALSE(off.reset_conn());
+  EXPECT_DOUBLE_EQ(off.stall_us(), 0);
+  EXPECT_FALSE(off.accept_fail());
+  EXPECT_EQ(off.counts().total(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end deadlines
+// ---------------------------------------------------------------------------
+
+TEST(Deadline, CancelTokenExpiryAndCancel) {
+  CancelToken unbounded;
+  EXPECT_FALSE(unbounded.expired());
+  EXPECT_GT(unbounded.remaining_ms(), 1e17);  // effectively infinite
+  CancelToken soon(0.5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(soon.expired());
+  EXPECT_LE(soon.remaining_ms(), 0.0);
+  CancelToken c;
+  c.cancel();
+  EXPECT_TRUE(c.expired());
+  EXPECT_LT(c.remaining_ms(), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -816,8 +980,9 @@ struct SocketFixture {
   ServeSocket sock;
   std::thread loop;
 
-  explicit SocketFixture(const serve::Endpoint& ep)
-      : core(small_opts()), sock(core, ep) {
+  explicit SocketFixture(const serve::Endpoint& ep,
+                         serve::SocketOptions sopts = {})
+      : core(small_opts()), sock(core, ep, sopts) {
     loop = std::thread([this] { sock.serve_forever(); });
   }
   ~SocketFixture() {
@@ -933,6 +1098,229 @@ TEST(Socket, ProtocolErrorDrainsAfterInflightResponses) {
   EXPECT_EQ(second.get("code").as_string(), "protocol");
   EXPECT_FALSE(r.next(&payload));
   EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Server, ExpiredDeadlineAnswersTimeoutBeforeRunning) {
+  ServerCore core(small_opts());
+  CancelToken tok;
+  tok.cancel();  // an already-dead deadline: handle() must not start work
+  Json req = run_req("matmul", "square");
+  req.set("id", "d1");
+  const Json resp = core.handle(req, &tok);
+  EXPECT_FALSE(resp.get("ok").as_bool());
+  EXPECT_EQ(resp.get("code").as_string(), "timeout");
+  EXPECT_TRUE(serve::is_retriable(resp));
+  EXPECT_EQ(resp.get("id").as_string(), "d1");
+  EXPECT_EQ(core.request_stats().deadline_expired, 1);
+  EXPECT_EQ(core.request_stats().errors, 1);
+}
+
+TEST(Socket, DeadlineExpiresInQueueOverTheWire) {
+  const serve::Endpoint ep =
+      serve::parse_endpoint("unix:/tmp/incflat_test_deadline.sock");
+  SocketFixture fx(ep);
+  // Occupy both workers so the run sits in the queue past its deadline.
+  std::atomic<bool> release{false};
+  std::vector<uint64_t> gates;
+  for (int i = 0; i < 2; ++i) {
+    gates.push_back(fx.core.scheduler().submit(
+        [&](JobContext&) {
+          while (!release.load()) std::this_thread::yield();
+        },
+        JobPriority::High));
+  }
+  ServeClient client(ep);
+  Json req = run_req("matmul", "square");
+  req.set("deadline_ms", 20.0);
+  req.set("id", "dl");
+  // Expiry is detected when a worker next scans the queue, so free the
+  // workers well after the deadline passes — from a side thread, since
+  // call() blocks until the timeout answer arrives.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    release.store(true);
+  });
+  const Json resp = client.call(req);
+  releaser.join();
+  EXPECT_FALSE(resp.get("ok").as_bool());
+  EXPECT_EQ(resp.get("code").as_string(), "timeout");
+  EXPECT_TRUE(serve::is_retriable(resp));
+  // The drop-path answer still correlates: the request id is echoed.
+  EXPECT_EQ(resp.get("id").as_string(), "dl");
+  for (const uint64_t g : gates) fx.core.scheduler().wait(g);
+}
+
+TEST(Socket, ConnCapAnswersOverloadedThenCloses) {
+  const serve::Endpoint ep =
+      serve::parse_endpoint("unix:/tmp/incflat_test_conncap.sock");
+  serve::SocketOptions so;
+  so.max_conns = 1;
+  SocketFixture fx(ep, so);
+  ServeClient keeper(ep);
+  Json ping = Json::object();
+  ping.set("op", "ping");
+  EXPECT_TRUE(keeper.call(ping).get("ok").as_bool());
+  // The second connection gets one retriable "overloaded" frame, then EOF.
+  ServeClient spill(ep);
+  const Json r = spill.call(ping);
+  EXPECT_FALSE(r.get("ok").as_bool());
+  EXPECT_EQ(r.get("code").as_string(), "overloaded");
+  EXPECT_TRUE(serve::is_retriable(r));
+  EXPECT_THROW(spill.call(ping), IoError);
+  // The admitted connection is unaffected.
+  EXPECT_TRUE(keeper.call(ping).get("ok").as_bool());
+}
+
+TEST(Socket, InflightCapShedsPipelinedRequests) {
+  const serve::Endpoint ep =
+      serve::parse_endpoint("unix:/tmp/incflat_test_inflight.sock");
+  serve::SocketOptions so;
+  so.max_inflight_per_conn = 1;
+  SocketFixture fx(ep, so);
+  // Gate both workers so the first request stays in flight while the
+  // second arrives pipelined on the same connection.
+  std::atomic<bool> release{false};
+  std::vector<uint64_t> gates;
+  for (int i = 0; i < 2; ++i) {
+    gates.push_back(fx.core.scheduler().submit(
+        [&](JobContext&) {
+          while (!release.load()) std::this_thread::yield();
+        },
+        JobPriority::High));
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  Json r1 = run_req("matmul", "square");
+  r1.set("id", "a");
+  Json r2 = run_req("matmul", "square");
+  r2.set("id", "b");
+  const std::string bytes =
+      serve::encode_frame(r1.str(-1)) + serve::encode_frame(r2.str(-1));
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  // Give the loop time to decode both frames (the second sheds while the
+  // first is still in flight), then let the first run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  std::string got;
+  char buf[4096];
+  std::vector<Json> resps;
+  FrameReader reader;
+  while (resps.size() < 2) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection closed before both responses arrived";
+    reader.feed(buf, static_cast<size_t>(n));
+    std::string payload;
+    while (reader.next(&payload)) resps.push_back(Json::parse(payload));
+  }
+  ::close(fd);
+  // In order: the admitted run's answer first, then the shed answer.
+  EXPECT_TRUE(resps[0].get("ok").as_bool());
+  EXPECT_EQ(resps[0].get("id").as_string(), "a");
+  EXPECT_FALSE(resps[1].get("ok").as_bool());
+  EXPECT_EQ(resps[1].get("code").as_string(), "overloaded");
+  EXPECT_TRUE(serve::is_retriable(resps[1]));
+  EXPECT_EQ(resps[1].get("id").as_string(), "b");
+  for (const uint64_t g : gates) fx.core.scheduler().wait(g);
+}
+
+TEST(Socket, GracefulDrainFinishesInflightAndRejectsNew) {
+  const serve::Endpoint ep =
+      serve::parse_endpoint("unix:/tmp/incflat_test_drain.sock");
+  ServerCore core(small_opts());
+  serve::SocketOptions so;
+  so.drain_ms = 4000;
+  ServeSocket sock(core, ep, so);
+  std::thread loop([&] { sock.serve_forever(); });
+  std::atomic<bool> release{false};
+  std::vector<uint64_t> gates;
+  for (int i = 0; i < 2; ++i) {
+    gates.push_back(core.scheduler().submit(
+        [&](JobContext&) {
+          while (!release.load()) std::this_thread::yield();
+        },
+        JobPriority::High));
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // One request admitted before the drain...
+  Json keep = run_req("matmul", "square");
+  keep.set("id", "keep");
+  std::string bytes = serve::encode_frame(keep.str(-1));
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  sock.request_drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // ...and one sent after it began: fail-fast "draining", retriable.
+  Json late = run_req("matmul", "square");
+  late.set("id", "late");
+  bytes = serve::encode_frame(late.str(-1));
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  release.store(true);
+  // The drain finishes the in-flight run, answers both in order, then
+  // closes the connection and exits the loop — clean, nothing forced.
+  std::string got;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    got.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  loop.join();
+  FrameReader reader;
+  reader.feed(got);
+  std::string payload;
+  ASSERT_TRUE(reader.next(&payload));
+  const Json first = Json::parse(payload);
+  EXPECT_TRUE(first.get("ok").as_bool());
+  EXPECT_EQ(first.get("id").as_string(), "keep");
+  ASSERT_TRUE(reader.next(&payload));
+  const Json second = Json::parse(payload);
+  EXPECT_FALSE(second.get("ok").as_bool());
+  EXPECT_EQ(second.get("code").as_string(), "draining");
+  EXPECT_TRUE(serve::is_retriable(second));
+  EXPECT_EQ(second.get("id").as_string(), "late");
+  EXPECT_FALSE(reader.next(&payload));
+  const serve::DrainStats& ds = sock.drain_stats();
+  EXPECT_TRUE(ds.requested);
+  EXPECT_TRUE(ds.clean);
+  EXPECT_EQ(ds.forced_conns, 0);
+  // The listen socket is gone: new connections are refused.
+  EXPECT_THROW(ServeClient{ep}, IoError);
+  for (const uint64_t g : gates) core.scheduler().wait(g);
+}
+
+TEST(Socket, ClientResponseTimeoutThrowsIoError) {
+  const serve::Endpoint ep =
+      serve::parse_endpoint("unix:/tmp/incflat_test_clienttimeout.sock");
+  SocketFixture fx(ep);
+  std::atomic<bool> release{false};
+  std::vector<uint64_t> gates;
+  for (int i = 0; i < 2; ++i) {
+    gates.push_back(fx.core.scheduler().submit(
+        [&](JobContext&) {
+          while (!release.load()) std::this_thread::yield();
+        },
+        JobPriority::High));
+  }
+  ServeClient client(ep, /*timeout_ms=*/60);
+  EXPECT_THROW(client.call(run_req("matmul", "square")), IoError);
+  release.store(true);
+  for (const uint64_t g : gates) fx.core.scheduler().wait(g);
 }
 
 TEST(Socket, EndpointParsing) {

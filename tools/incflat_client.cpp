@@ -9,13 +9,23 @@
 //
 // Prints the response JSON (pretty) to stdout.  Exit codes: 0 response has
 // ok=true, 1 response has ok=false, 2 usage error, 3 transport failure.
+//
+// --timeout-ms bounds the connect and each response wait; --retries N
+// retries connect-refused / timed-out calls with jittered exponential
+// backoff (fresh connection per attempt) — and also retries responses the
+// daemon marked "retriable":true (shed, draining, deadline-expired).
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/serve/net.h"
+#include "src/serve/protocol.h"
 #include "src/support/error.h"
 #include "src/support/json.h"
 
@@ -36,8 +46,24 @@ int usage(FILE* to) {
       "       raw JSON                 send a verbatim request payload\n"
       "\n"
       "  --connect SPEC   unix:PATH or tcp:[HOST:]PORT\n"
-      "                   (default unix:/tmp/incflatd.sock)\n");
+      "                   (default unix:/tmp/incflatd.sock)\n"
+      "  --timeout-ms MS  bound the connect and each response wait\n"
+      "  --deadline-ms MS end-to-end server-side deadline for the request\n"
+      "  --retries N      retry refused/timed-out/retriable calls up to N\n"
+      "                   times with jittered exponential backoff\n");
   return to == stdout ? 0 : 2;
+}
+
+/// Jittered exponential backoff before retry `attempt` (1-based):
+/// base 50ms * 2^(attempt-1), capped at 2s, then scaled by a uniform
+/// [0.5, 1.5) jitter so a herd of retrying clients decorrelates.
+void backoff_sleep(int attempt, std::mt19937_64& rng) {
+  double ms = 50.0;
+  for (int i = 1; i < attempt; ++i) ms = std::min(ms * 2, 2000.0);
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  ms *= jitter(rng);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
 }
 
 }  // namespace
@@ -49,6 +75,12 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, int64_t>> thresholds;
   int trials = 0;
   bool tuned = false;
+  double timeout_ms = 0;
+  double deadline_ms = 0;
+  int retries = 0;
+
+  // A server going away mid-write must surface as EPIPE, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +103,12 @@ int main(int argc, char** argv) {
       trials = std::atoi(next());
     } else if (arg == "--tuned") {
       tuned = true;
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::atof(next());
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(next());
+    } else if (arg == "--retries") {
+      retries = std::atoi(next());
     } else if (arg == "--threshold") {
       const std::string kv = next();
       const size_t eq = kv.find('=');
@@ -122,28 +160,56 @@ int main(int argc, char** argv) {
   if (raw_payload.empty()) {
     if (!mode.empty()) req.set("mode", mode);
     if (!device.empty()) req.set("device", device);
+    if (deadline_ms > 0) req.set("deadline_ms", deadline_ms);
   }
 
-  try {
-    serve::ServeClient client(serve::parse_endpoint(connect));
-    const std::string resp_text = raw_payload.empty()
-                                      ? client.call_text(req.str(-1))
-                                      : client.call_text(raw_payload);
-    Json resp;
+  const std::string payload = raw_payload.empty() ? req.str(-1) : raw_payload;
+  const serve::Endpoint ep = serve::parse_endpoint(connect);
+  std::mt19937_64 rng(std::random_device{}());
+
+  // Each attempt uses a fresh connection: a timed-out call leaves the old
+  // stream with an unconsumed response in flight, unusable for a resend.
+  std::string last_error;
+  for (int attempt = 1; attempt <= 1 + retries; ++attempt) {
+    if (attempt > 1) backoff_sleep(attempt - 1, rng);
     try {
-      resp = Json::parse(resp_text);
-    } catch (const JsonParseError&) {
-      std::printf("%s\n", resp_text.c_str());
+      serve::ServeClient client(ep, timeout_ms);
+      const std::string resp_text = client.call_text(payload);
+      Json resp;
+      try {
+        resp = Json::parse(resp_text);
+      } catch (const JsonParseError&) {
+        std::printf("%s\n", resp_text.c_str());
+        return 1;
+      }
+      if (serve::is_retriable(resp) && attempt <= retries) {
+        const Json* code = resp.find("code");
+        std::fprintf(stderr,
+                     "incflat_client: retriable failure (%s), retrying "
+                     "(%d/%d)\n",
+                     code && code->is_string() ? code->as_string().c_str()
+                                               : "?",
+                     attempt, retries);
+        continue;
+      }
+      std::printf("%s\n", resp.str(2).c_str());
+      const Json* ok = resp.find("ok");
+      return ok && ok->is_bool() && ok->as_bool() ? 0 : 1;
+    } catch (const IoError& e) {
+      last_error = e.what();
+      if (attempt <= retries) {
+        std::fprintf(stderr, "incflat_client: %s, retrying (%d/%d)\n",
+                     e.what(), attempt, retries);
+        continue;
+      }
+      std::fprintf(stderr, "incflat_client: %s\n", e.what());
+      return 3;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "incflat_client: %s\n", e.what());
       return 1;
     }
-    std::printf("%s\n", resp.str(2).c_str());
-    const Json* ok = resp.find("ok");
-    return ok && ok->is_bool() && ok->as_bool() ? 0 : 1;
-  } catch (const IoError& e) {
-    std::fprintf(stderr, "incflat_client: %s\n", e.what());
-    return 3;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "incflat_client: %s\n", e.what());
-    return 1;
   }
+  std::fprintf(stderr, "incflat_client: retries exhausted: %s\n",
+               last_error.c_str());
+  return 3;
 }

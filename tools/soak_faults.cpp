@@ -1,6 +1,7 @@
 // soak_faults — fault-injection soak for CI.
 //
 //   soak_faults [SPEC] [SEEDS]
+//   soak_faults chaos              heavy network-chaos soak only
 //
 // Runs every benchsuite program on both device profiles under a mixed
 // fault spec (default all=0.01, i.e. 1% of launches fault) across SEEDS
@@ -28,14 +29,29 @@
 // on for the whole soak; the run fails if any acquisition anywhere closed
 // an ordering cycle, certifying the daemon's lock hierarchy acyclic.
 //
+// A network-chaos phase runs a real ServeSocket under deterministic
+// socket-level chaos (dribbled reads, partial writes, stalls, mid-stream
+// resets, accept drops) with admission limits and per-request deadlines on,
+// driven by reconnecting clients.  Contracts: no client ever sees a protocol
+// violation, every response correlates to the request that asked for it
+// (in-order, exactly-once), shed / deadline-expired outcomes are structured
+// and retriable, a fresh client still gets a ping answered after the storm
+// (nothing wedged), and a requested drain completes clean within its bound.
+// `soak_faults chaos` runs a heavier version of just this phase.
+//
 // Exit code 0 only when every check passes — CI runs this under
 // ASan+UBSan, so memory errors in the fault paths also fail the job.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +63,8 @@
 #include "src/exec/runtime.h"
 #include "src/gpusim/faults.h"
 #include "src/plan/plan.h"
+#include "src/serve/net.h"
+#include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "src/support/json.h"
 #include "src/support/rng.h"
@@ -292,6 +310,206 @@ void soak_serve(Tally& t, const std::string& spec_str) {
   t.runs += kThreads * kReqs;
 }
 
+/// Network-chaos soak: a real ServeSocket under deterministic socket-level
+/// chaos, admission limits and per-request deadlines, driven by
+/// reconnecting clients.  See the file comment for the contracts checked.
+void soak_chaos(Tally& t, bool heavy) {
+  // A chaos reset severs connections mid-write on both sides; that must be
+  // an EPIPE errno in this process, never a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  serve::ServeOptions o;
+  o.workers = 2;
+  o.queue_cap = 64;
+  serve::ServerCore core(o);
+  serve::SocketOptions so;
+  so.max_conns = 64;
+  so.max_inflight_per_conn = 8;
+  so.drain_ms = 5000;
+  so.chaos = serve::parse_net_chaos(heavy ? "all=0.12" : "all=0.05");
+  so.chaos_seed = 0xc4a05;
+  serve::Endpoint ep;
+  ep.kind = serve::Endpoint::Kind::Unix;
+  ep.path = "/tmp/incflat_soak_chaos_" + std::to_string(::getpid()) + ".sock";
+  serve::ServeSocket sock(core, ep, so);
+  std::atomic<bool> loop_done{false};
+  std::thread loop([&] {
+    sock.serve_forever();
+    loop_done.store(true);
+  });
+
+  const std::vector<std::string> names = all_benchmark_names();
+  const int kThreads = heavy ? 8 : 4;
+  const int kReqs = heavy ? 60 : 25;
+  std::atomic<int> protocol_bad{0};   // framing/parse/shape violations
+  std::atomic<int> id_mismatch{0};    // response for the wrong request
+  std::atomic<int> bad_retriable{0};  // shed/timeout without retriable:true
+  std::atomic<int> answered{0}, shed{0}, expired{0}, resets{0};
+  std::atomic<int> unanswered{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(kThreads));
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      std::unique_ptr<serve::ServeClient> cli;
+      for (int i = 0; i < kReqs; ++i) {
+        const Benchmark b = get_benchmark(names[(w + i) % names.size()]);
+        const std::string rid =
+            std::to_string(w) + "-" + std::to_string(i);
+        Json req = Json::object();
+        if (i % 9 == 0) {
+          req.set("op", "stats");
+        } else {
+          req.set("op", "run");
+          req.set("benchmark", b.name);
+          req.set("dataset", b.datasets.empty() ? std::string("test")
+                                                : b.datasets[0].name);
+        }
+        req.set("id", rid);
+        // Every third request carries a deadline; in the heavy soak it is
+        // tight enough that some expire behind queued compiles, so the
+        // kTimeout path sees real traffic.
+        if (i % 3 == 0) req.set("deadline_ms", heavy ? 1.0 : 200.0);
+
+        bool got = false;
+        for (int attempt = 0; attempt < 6 && !got; ++attempt) {
+          if (!cli) {
+            try {
+              cli = std::make_unique<serve::ServeClient>(ep, 10000);
+            } catch (const std::exception&) {
+              ++resets;
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              continue;
+            }
+          }
+          try {
+            const Json resp = cli->call(req);
+            got = true;
+            ++answered;
+            // Exactly-once, in order: the one response a synchronous call
+            // yields must correlate to the request that asked for it —
+            // a stray duplicate or dropped frame shows up here as a
+            // stream-position mismatch.
+            const Json* gid = resp.find("id");
+            if (!gid || !gid->is_string() || gid->as_string() != rid)
+              ++id_mismatch;
+            const Json* ok = resp.find("ok");
+            if (!ok || !ok->is_bool()) {
+              ++protocol_bad;
+              continue;
+            }
+            if (!ok->as_bool()) {
+              const Json* cj = resp.find("code");
+              const std::string cs =
+                  cj && cj->is_string() ? cj->as_string() : "";
+              if (cs == "timeout" || cs == "cancelled") {
+                ++expired;
+                if (!serve::is_retriable(resp)) ++bad_retriable;
+              } else if (cs == "overloaded" || cs == "draining") {
+                ++shed;
+                if (!serve::is_retriable(resp)) ++bad_retriable;
+              }
+              // Other ok=false (injected run faults, unknown benchmark)
+              // is ordinary structured failure — not chaos's business.
+            }
+          } catch (const serve::ProtocolError& e) {
+            std::cerr << "chaos soak: framing violation: " << e.what()
+                      << "\n";
+            ++protocol_bad;
+            cli.reset();
+          } catch (const JsonParseError& e) {
+            std::cerr << "chaos soak: unparseable response: " << e.what()
+                      << "\n";
+            ++protocol_bad;
+            cli.reset();
+          } catch (const std::exception&) {
+            // IoError: chaos reset / timeout — reconnect and resend.
+            ++resets;
+            cli.reset();
+          }
+        }
+        if (!got) ++unanswered;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // No wedge: a fresh connection must still get a ping answered after the
+  // storm (chaos can still drop it — retry a few times).
+  bool ping_ok = false;
+  for (int attempt = 0; attempt < 8 && !ping_ok; ++attempt) {
+    try {
+      serve::ServeClient fresh(ep, 2000);
+      Json ping = Json::object();
+      ping.set("op", "ping");
+      const Json resp = fresh.call(ping);
+      const Json* ok = resp.find("ok");
+      ping_ok = ok && ok->is_bool() && ok->as_bool();
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  check(t, ping_ok, "chaos soak: daemon wedged — ping unanswered after the "
+                    "storm");
+
+  // Graceful drain: every client is gone, so the drain must complete clean
+  // well inside its bound.
+  sock.request_drain();
+  const auto bound =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!loop_done.load() && std::chrono::steady_clock::now() < bound) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!loop_done.load()) {
+    check(t, false, "chaos soak: drain wedged — loop did not exit; forcing");
+    sock.stop();
+  }
+  loop.join();
+  const serve::DrainStats& ds = sock.drain_stats();
+  check(t, ds.requested, "chaos soak: drain request was never observed");
+  check(t, ds.clean && ds.forced_conns == 0,
+        "chaos soak: drain was not clean (" +
+            std::to_string(ds.forced_conns) + " forced)");
+
+  const int total_sent = kThreads * kReqs;
+  check(t, protocol_bad.load() == 0,
+        "chaos soak: protocol violations under chaos");
+  check(t, id_mismatch.load() == 0,
+        "chaos soak: a response correlated to the wrong request");
+  check(t, bad_retriable.load() == 0,
+        "chaos soak: shed/deadline response not marked retriable");
+  // Tolerate a tail of requests that exhausted their reconnect budget, but
+  // the vast majority must land or the soak is vacuous.
+  check(t, answered.load() >= (total_sent * 8) / 10,
+        "chaos soak: too few requests answered (" +
+            std::to_string(answered.load()) + "/" +
+            std::to_string(total_sent) + ")");
+  const serve::NetChaos::Counts& cc = sock.chaos_counts();
+  check(t, cc.total() > 0, "chaos soak: chaos never fired (vacuous)");
+  std::cout << "chaos soak: " << answered.load() << "/" << total_sent
+            << " answered (" << shed.load() << " shed, " << expired.load()
+            << " deadline-expired, " << resets.load() << " resets, "
+            << unanswered.load() << " unanswered), chaos fired "
+            << cc.total() << " (" << cc.dribbles << " dribble, "
+            << cc.partial_writes << " partial-write, " << cc.stalls
+            << " stall, " << cc.resets << " reset, " << cc.accept_fails
+            << " accept-fail), drain "
+            << (ds.clean ? "clean" : "FORCED") << "\n";
+  t.runs += answered.load();
+  std::remove(ep.path.c_str());
+}
+
+/// `soak_faults chaos`: the heavy network-chaos phase alone, still under
+/// the lock-order validator.
+int chaos_soak() {
+  Tally t;
+  soak_chaos(t, /*heavy=*/true);
+  const auto violations = sync::lockdep::violations();
+  for (const auto& v : violations) std::cerr << "FAIL: " << v.str() << "\n";
+  check(t, violations.empty(), "lockdep: lock-order inversion(s) detected");
+  std::cout << "chaos soak: " << t.failures << " contract failure(s)\n";
+  return t.failures == 0 ? 0 : 1;
+}
+
 int soak(const std::string& spec_str, int n_seeds) {
   const FaultSpec spec = parse_fault_spec(spec_str);
   const std::vector<DeviceProfile> devices{device_k40(), device_vega64()};
@@ -332,6 +550,7 @@ int soak(const std::string& spec_str, int n_seeds) {
     }
   }
   soak_serve(t, spec_str);
+  soak_chaos(t, /*heavy=*/false);
   // The tiered streams must actually exercise both tiers, or their checks
   // are vacuous.
   check(t, t.specializations > 0, "tiered soak: no plan ever specialized");
@@ -369,6 +588,7 @@ int main(int argc, char** argv) {
   // to interleave the paths production traffic takes.
   incflat::sync::lockdep::set_enabled(true);
   try {
+    if (spec == "chaos") return incflat::chaos_soak();
     return incflat::soak(spec, seeds);
   } catch (const std::exception& e) {
     std::cerr << "soak: fatal: " << e.what() << "\n";
